@@ -1,0 +1,45 @@
+//! # seve-baselines — the comparison architectures
+//!
+//! Every system the paper measures against or analyses, implemented over
+//! the same world/network substrates so comparisons are apples-to-apples:
+//!
+//! * [`central`] — **Central**: the multi-server MMO architecture of
+//!   Second Life and World of Warcraft (Section II-A.1), reduced to its
+//!   essential property: *all game logic executes on the server*. Clients
+//!   are thin; the server evaluates every action and sends state updates
+//!   to interested (visibility-scoped) clients. Strongly consistent, and
+//!   collapses when offered load exceeds one machine (Figure 6).
+//! * [`broadcast`] — **Broadcast**: the NPSNET / SIMNET distributed
+//!   simulation model (Sections II and VI). Every node simulates the whole
+//!   world; every action is relayed to every node. O(N²) traffic
+//!   (Figure 9) and per-client compute equal to the Central server's
+//!   (Figure 6).
+//! * [`ring`] — **RING-like**: visibility-filtered action forwarding
+//!   (Funkhouser '95; Section III-B). The server pushes an action only to
+//!   clients that can *see* the issuer — no transitive closure, no blind
+//!   writes. Fast and cheap, but causally incomplete: replicas evaluate
+//!   with stale inputs and diverge (Figures 2 and 3), which the
+//!   consistency oracle counts.
+//! * [`locking`] — the distributed **lock-based** protocol of
+//!   Section II-B (Project Darkstar model): acquire server-side locks on
+//!   the read set, execute at the client, publish the effect. A
+//!   conflicting transaction waits at least 2×RTT behind the holder.
+//! * [`timestamp`] — **optimistic timestamp ordering** with backward
+//!   certification (Section II-B): clients execute tentatively against
+//!   possibly stale versions, the server certifies read versions and
+//!   aborts stale transactions, clients retry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod central;
+pub mod locking;
+pub mod ring;
+pub mod timestamp;
+
+pub use broadcast::BroadcastSuite;
+pub use central::CentralSuite;
+pub use locking::LockingSuite;
+pub use ring::RingSuite;
+pub use timestamp::TimestampSuite;

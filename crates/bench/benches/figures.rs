@@ -1,0 +1,42 @@
+//! One bench per table/figure: regenerate each experiment at reduced
+//! (Quick) scale under Criterion. These keep the experiment pipelines
+//! honest — a regression that makes a figure 10× slower (or panic) fails
+//! here — while the `repro` binary produces the paper-fidelity series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seve_bench::BENCH_SCALE;
+use seve_sim::experiment;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("table1_settings", |b| {
+        b.iter(|| std::hint::black_box(experiment::table1()))
+    });
+    g.bench_function("fig6_scalability", |b| {
+        b.iter(|| std::hint::black_box(experiment::fig6(BENCH_SCALE)))
+    });
+    g.bench_function("fig7_complexity", |b| {
+        b.iter(|| std::hint::black_box(experiment::fig7(BENCH_SCALE)))
+    });
+    g.bench_function("fig8_density", |b| {
+        b.iter(|| std::hint::black_box(experiment::fig8(BENCH_SCALE)))
+    });
+    g.bench_function("fig9_bandwidth", |b| {
+        b.iter(|| std::hint::black_box(experiment::fig9(BENCH_SCALE)))
+    });
+    g.bench_function("fig10_ring", |b| {
+        b.iter(|| std::hint::black_box(experiment::fig10(BENCH_SCALE)))
+    });
+    g.bench_function("table2_dropping", |b| {
+        b.iter(|| std::hint::black_box(experiment::table2(BENCH_SCALE)))
+    });
+    g.bench_function("server_capacity", |b| {
+        b.iter(|| std::hint::black_box(experiment::server_capacity(BENCH_SCALE)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Protocol-engine step throughput: the native cost of one client submit,
+//! one server submission handling (per mode), and one push cycle — the
+//! numbers behind the simulator's calibrated cost model and the server
+//! capacity extrapolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seve_core::config::{ProtocolConfig, ServerMode};
+use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode};
+use seve_core::server::{AnySeveServer, SeveSuite};
+use seve_core::SeveClient;
+use seve_net::time::SimTime;
+use seve_world::ids::ClientId;
+use seve_world::worlds::manhattan::{ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern};
+use seve_world::worlds::Workload;
+use seve_world::GameWorld;
+use std::sync::Arc;
+
+fn world() -> Arc<ManhattanWorld> {
+    Arc::new(ManhattanWorld::new(ManhattanConfig {
+        clients: 64,
+        walls: 2_000,
+        spawn: SpawnPattern::Clustered {
+            cluster_size: 8,
+            cluster_radius: 14.0,
+        },
+        ..ManhattanConfig::default()
+    }))
+}
+
+fn bench_client_submit(c: &mut Criterion) {
+    let world = world();
+    let cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    let mut wl = ManhattanWorkload::new(&world);
+    c.bench_function("client_submit_optimistic", |b| {
+        let mut client: SeveClient<ManhattanWorld> =
+            SeveClient::new(ClientId(0), Arc::clone(&world), &cfg);
+        let mut out = Vec::new();
+        b.iter(|| {
+            let seq = client.next_seq();
+            let action = wl
+                .next_action(ClientId(0), seq, client.optimistic(), 0)
+                .expect("move");
+            out.clear();
+            std::hint::black_box(client.submit(SimTime::ZERO, action, &mut out))
+        })
+    });
+}
+
+fn bench_server_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("server_submission");
+    for mode in [ServerMode::Basic, ServerMode::Incomplete, ServerMode::InfoBound] {
+        g.bench_function(mode.name(), |b| {
+            let world = world();
+            let suite = SeveSuite::new(ProtocolConfig::with_mode(mode));
+            let (mut server, _clients): (AnySeveServer<ManhattanWorld>, _) =
+                suite.build(Arc::clone(&world));
+            let mut wl = ManhattanWorkload::new(&world);
+            let state = world.initial_state();
+            let mut seqs = vec![0u32; 64];
+            let mut out = Vec::new();
+            let mut i = 0usize;
+            b.iter(|| {
+                let cidx = i % 64;
+                i += 1;
+                let cl = ClientId(cidx as u16);
+                let action = wl.next_action(cl, seqs[cidx], &state, 0).expect("move");
+                seqs[cidx] += 1;
+                out.clear();
+                std::hint::black_box(server.deliver(
+                    SimTime::ZERO,
+                    cl,
+                    seve_core::msg::ToServer::Submit { action },
+                    &mut out,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_push_cycle(c: &mut Criterion) {
+    c.bench_function("server_push_cycle_64_clients", |b| {
+        let world = world();
+        let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound));
+        let mut wl = ManhattanWorkload::new(&world);
+        let state = world.initial_state();
+        b.iter_batched(
+            || {
+                let (mut server, _clients) = suite.build(Arc::clone(&world));
+                let mut out = Vec::new();
+                for i in 0..64u16 {
+                    let action = wl.next_action(ClientId(i), 0, &state, 0).expect("move");
+                    server.deliver(
+                        SimTime::ZERO,
+                        ClientId(i),
+                        seve_core::msg::ToServer::Submit { action },
+                        &mut out,
+                    );
+                }
+                server.tick(SimTime::from_ms(50), &mut out);
+                server
+            },
+            |mut server| {
+                let mut out = Vec::new();
+                server.push_tick(SimTime::from_ms(60), &mut out);
+                std::hint::black_box(out.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_client_submit, bench_server_modes, bench_push_cycle);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Substrate microbenchmarks: the world-state database, the read/write-set
+//! algebra, the spatial index (vs brute force), and terrain queries —
+//! the inner loops every protocol variant leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seve_world::geometry::{Aabb, Vec2};
+use seve_world::ids::{AttrId, ObjectId};
+use seve_world::objset::ObjectSet;
+use seve_world::spatial::UniformGrid;
+use seve_world::state::{WorldState, WriteLog};
+use seve_world::terrain::Terrain;
+
+fn bench_state(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state");
+    let mut state = WorldState::new();
+    for o in 0..64u32 {
+        for a in 0..3u16 {
+            state.set_attr(ObjectId(o), AttrId(a), (o as i64 * 3 + a as i64).into());
+        }
+    }
+    let mut log = WriteLog::new();
+    for o in 0..8u32 {
+        log.push(ObjectId(o), AttrId(0), 99i64.into());
+    }
+    g.bench_function("apply_writes_8_objects", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            s.apply_writes(&log);
+            std::hint::black_box(s.len())
+        })
+    });
+    g.bench_function("digest_64_objects", |b| {
+        b.iter(|| std::hint::black_box(state.digest()))
+    });
+    g.bench_function("snapshot_of_16", |b| {
+        let set: ObjectSet = (0..16u32).map(ObjectId).collect();
+        b.iter(|| std::hint::black_box(state.snapshot_of(&set).len()))
+    });
+    g.finish();
+}
+
+fn bench_objset(c: &mut Criterion) {
+    let mut g = c.benchmark_group("objset");
+    let a: ObjectSet = (0..16u32).map(|i| ObjectId(i * 3)).collect();
+    let b_set: ObjectSet = (0..16u32).map(|i| ObjectId(i * 5)).collect();
+    g.bench_function("intersects_16x16", |bench| {
+        bench.iter(|| std::hint::black_box(a.intersects(&b_set)))
+    });
+    g.bench_function("union_16x16", |bench| {
+        bench.iter(|| {
+            let mut u = a.clone();
+            u.union_with(&b_set);
+            std::hint::black_box(u.len())
+        })
+    });
+    g.bench_function("subtract_16x16", |bench| {
+        bench.iter(|| {
+            let mut d = a.clone();
+            d.subtract(&b_set);
+            std::hint::black_box(d.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_spatial(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spatial");
+    let bounds = Aabb::from_size(1000.0, 1000.0);
+    let n = 4096u32;
+    let pts: Vec<Vec2> = (0..n)
+        .map(|i| {
+            // Deterministic quasi-random scatter.
+            let x = (i as f64 * 137.508) % 1000.0;
+            let y = (i as f64 * 57.295) % 1000.0;
+            Vec2::new(x, y)
+        })
+        .collect();
+    let mut grid = UniformGrid::new(bounds, 30.0);
+    for (i, &p) in pts.iter().enumerate() {
+        grid.insert(i as u32, p);
+    }
+    let center = Vec2::new(500.0, 500.0);
+    for &r in &[30.0f64, 60.0, 120.0] {
+        g.bench_with_input(BenchmarkId::new("grid_query", r as u32), &r, |b, &r| {
+            b.iter(|| std::hint::black_box(grid.count_within(center, r)))
+        });
+        g.bench_with_input(BenchmarkId::new("brute_force", r as u32), &r, |b, &r| {
+            b.iter(|| {
+                std::hint::black_box(
+                    pts.iter().filter(|p| p.dist2(center) <= r * r).count(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_terrain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("terrain");
+    g.sample_size(20);
+    let t = Terrain::manhattan(Aabb::from_size(1000.0, 1000.0), 100_000, 10.0, 7);
+    let p = Vec2::new(500.0, 500.0);
+    g.bench_function("walls_within_visibility_100k", |b| {
+        b.iter(|| std::hint::black_box(t.walls_within(p, 56.42)))
+    });
+    g.bench_function("path_blocked_one_move_100k", |b| {
+        b.iter(|| std::hint::black_box(t.path_blocked(p, Vec2::new(503.0, 500.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_state, bench_objset, bench_spatial, bench_terrain);
+criterion_main!(benches);

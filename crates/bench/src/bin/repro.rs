@@ -1,0 +1,85 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [--quick] [table1|fig6|fig7|fig8|fig9|fig10|table2|capacity|ablations|all]
+//! ```
+//!
+//! `--quick` runs the reduced sweeps used by the test suite; the default is
+//! the paper-fidelity configuration (Table I). Output is plain text,
+//! suitable for diffing against `EXPERIMENTS.md`.
+
+use seve_sim::experiment::{self, Scale};
+use seve_sim::report::render_settings;
+use std::io::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    const KNOWN: [&str; 10] = [
+        "all", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2",
+        "capacity", "ablations",
+    ];
+    if let Some(bad) = what.iter().find(|w| !KNOWN.contains(w)) {
+        eprintln!("unknown experiment '{bad}'");
+        eprintln!("usage: repro [--quick] [{}]", KNOWN.join("|"));
+        std::process::exit(2);
+    }
+    let all = what.is_empty() || what.contains(&"all");
+    let want = |k: &str| all || what.contains(&k);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+
+    if want("table1") {
+        let rows = experiment::table1();
+        let _ = writeln!(
+            out,
+            "{}",
+            render_settings("Table I — Simulation Settings", &rows)
+        );
+    }
+    if want("fig6") || want("fig9") {
+        // One sweep feeds both figures.
+        let sweep = experiment::scalability_sweep(scale);
+        if want("fig6") {
+            let _ = writeln!(out, "{}", experiment::fig6_from_sweep(&sweep).render());
+        }
+        if want("fig9") {
+            let _ = writeln!(out, "{}", experiment::fig9_from_sweep(&sweep).render());
+        }
+    }
+    if want("fig7") {
+        let _ = writeln!(out, "{}", experiment::fig7(scale).render());
+    }
+    if want("fig8") {
+        let _ = writeln!(out, "{}", experiment::fig8(scale).render());
+    }
+    if want("table2") {
+        let _ = writeln!(out, "{}", experiment::table2(scale).render());
+    }
+    if want("fig10") {
+        let _ = writeln!(out, "{}", experiment::fig10(scale).render());
+    }
+    if want("ablations") {
+        let _ = writeln!(out, "{}", experiment::ablation_omega(scale).render());
+        let _ = writeln!(out, "{}", experiment::ablation_threshold(scale).render());
+        let _ = writeln!(out, "{}", experiment::ablation_optimizations(scale).render());
+        let _ = writeln!(out, "{}", experiment::ring_inconsistency(scale).render());
+    }
+    if want("capacity") {
+        let (cap, r) = experiment::server_capacity(scale);
+        let _ = writeln!(
+            out,
+            "== capacity — single-server client limit ==\n  server utilization at 64 clients: {:.4}\n  extrapolated capacity: {:.0} clients (paper: ~3500)\n  server compute: {} µs over {:.1} s virtual\n",
+            r.server_utilization,
+            cap,
+            r.server_compute_us,
+            r.duration.as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Scratch calibration scanner for the Figure 8 / Table II regime.
+use seve_core::config::ServerMode;
+use seve_sim::experiment::*;
+use seve_sim::SimConfig;
+use seve_world::worlds::manhattan::{ManhattanConfig, ManhattanWorld, SpawnPattern};
+use seve_world::GameWorld;
+use std::sync::Arc;
+
+fn world(spacing: f64, vis: f64, range: f64, cost: u64) -> Arc<ManhattanWorld> {
+    Arc::new(ManhattanWorld::new(ManhattanConfig {
+        width: 250.0,
+        height: 250.0,
+        walls: 0,
+        clients: 60,
+        visibility: vis,
+        move_effect_range: range,
+        speed: 2.0,
+        spawn: SpawnPattern::Grid { spacing },
+        cost_override_us: Some(cost),
+        ..ManhattanConfig::default()
+    }))
+}
+
+fn main() {
+    let args: Vec<f64> = std::env::args().skip(1).map(|a| a.parse().unwrap()).collect();
+    let (range, cost, thr) = (args[0], args[1] as u64, args[2]);
+    println!("range {range} cost {cost} threshold {thr}");
+    println!("{:>8} {:>8} {:>10} {:>10} {:>8} {:>8}", "spacing", "visible", "drop_ms", "naive_ms", "drop%", "violations");
+    for spacing in [20.0, 16.0, 13.0, 11.0, 9.0, 8.0, 7.0, 6.0, 5.0] {
+        let w = world(spacing, 30.0, range, cost);
+        let visible = w.avg_visible(&w.initial_state(), 30.0);
+        let sim = SimConfig { moves_per_client: 60, ..Default::default() };
+        let mut proto = paper_protocol(ServerMode::InfoBound);
+        proto.threshold = thr;
+        proto.interest_radius_override = Some(30.0);
+        proto.verify_rebuilds = std::env::var("SEVE_VERIFY").is_ok();
+        let rd = run_seve(&w, ServerMode::InfoBound, proto.clone(), &sim);
+        let rn = run_seve(&w, ServerMode::FirstBound, proto, &sim);
+        println!(
+            "{:>8.1} {:>8.2} {:>10.1} {:>10.1} {:>8.2} {:>5}/{:<5}",
+            spacing, visible, rd.response_ms.mean(), rn.response_ms.mean(),
+            rd.drop_percent(), rd.violations, rn.violations
+        );
+        if std::env::var("SEVE_SCAN_DETAIL").is_ok() {
+            println!(
+                "    drop: divergences {} naive_div {} maxq {}",
+                rd.replay_divergences, rn.replay_divergences, rd.server.max_queue_len
+            );
+        }
+    }
+}

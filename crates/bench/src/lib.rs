@@ -1,0 +1,23 @@
+//! # seve-bench — benchmark harness for the paper's evaluation
+//!
+//! Two kinds of artifacts live here:
+//!
+//! * the **`repro` binary** (`cargo run -p seve-bench --release --bin
+//!   repro`) — regenerates every table and figure of Section V as text
+//!   series (see `EXPERIMENTS.md` for recorded output);
+//! * **Criterion benches** (`cargo bench -p seve-bench`) — one bench per
+//!   table/figure at reduced scale, plus microbenches for the paper's
+//!   in-text cost claims (closure computation ≈0.04 ms per move; move cost
+//!   linear in wall count) and ablations (ω sweep, threshold sweep,
+//!   interest filtering, velocity culling, grid vs brute-force scans).
+//!
+//! The library portion provides small shared helpers for the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use seve_sim::experiment::Scale;
+
+/// The scale benches run at (figures are simulations; Criterion measures
+/// the wall-clock of regenerating them at reduced size).
+pub const BENCH_SCALE: Scale = Scale::Quick;

@@ -1,0 +1,130 @@
+//! The conflict-sphere bounds — Equations 1 and 2, and area culling.
+//!
+//! The First Bound Model (Section III-D) decides whether an action `A` can
+//! affect any future action of client `C` within the response window
+//! `(1+ω)·RTT`:
+//!
+//! ```text
+//! ‖p̄_A − p̄_C‖ ≤ 2s × (1+ω)RTT + r_C + r_A            (Eq. 1)
+//! ```
+//!
+//! — the worst case being both parties moving toward each other at the
+//! maximum speed `s` (Figure 4). The Information Bound Model widens the
+//! sphere by the chain-breaking `threshold` (Eq. 2). Area culling
+//! (Section IV-B) replaces the static radius of a moving action (an arrow in
+//! flight) with its predicted position:
+//!
+//! ```text
+//! ‖p̄_M + v̄_M × (t_M − t_C) − p̄_C‖ ≤ 2s × (1+ω)RTT + r_C
+//! ```
+
+use seve_world::action::Influence;
+use seve_world::geometry::Vec2;
+
+/// Inputs to the bound tests, fixed per experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BoundParams {
+    /// `s` — maximum rate of positional change, units/second.
+    pub max_speed: f64,
+    /// `(1+ω)·RTT` in seconds — the response window.
+    pub window_secs: f64,
+    /// `r_C` — the client's maximum radius of influence.
+    pub client_radius: f64,
+    /// Extra slack added to the sphere; zero for Eq. 1, the Algorithm 7
+    /// `threshold` for Eq. 2.
+    pub extra: f64,
+    /// Use the velocity-vector form (Section IV-B) when the action declares
+    /// a velocity.
+    pub velocity_culling: bool,
+}
+
+impl BoundParams {
+    /// The motion slack `2s × (1+ω)RTT` both parties can close in the
+    /// window.
+    #[inline]
+    pub fn motion_slack(&self) -> f64 {
+        2.0 * self.max_speed * self.window_secs
+    }
+
+    /// Can action with influence `inf`, submitted `age_secs` ago, affect any
+    /// future action of a client at `client_pos` within the window?
+    pub fn may_affect(&self, inf: &Influence, age_secs: f64, client_pos: Vec2) -> bool {
+        let slack = self.motion_slack() + self.client_radius + self.extra;
+        match (self.velocity_culling, inf.velocity) {
+            (true, Some(v)) => {
+                // The moving-influence form: project the action's center
+                // along its velocity to "now" and drop the r_A term — the
+                // influence is a travelling point, not a growing sphere.
+                let predicted = inf.center + v * age_secs;
+                predicted.dist(client_pos) <= slack
+            }
+            _ => inf.center.dist(client_pos) <= slack + inf.radius,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BoundParams {
+        BoundParams {
+            max_speed: 10.0,
+            window_secs: 0.2975, // (1 + 0.25) × 238 ms
+            client_radius: 10.0,
+            extra: 0.0,
+            velocity_culling: false,
+        }
+    }
+
+    #[test]
+    fn eq1_sphere_boundary() {
+        let p = params();
+        // Slack = 2·10·0.2975 + 10 = 15.95; radius 10 → bound 25.95.
+        let inf = Influence::sphere(Vec2::ZERO, 10.0);
+        assert!(p.may_affect(&inf, 0.0, Vec2::new(25.9, 0.0)));
+        assert!(!p.may_affect(&inf, 0.0, Vec2::new(26.0, 0.0)));
+    }
+
+    #[test]
+    fn eq2_widens_by_threshold() {
+        let mut p = params();
+        p.extra = 45.0;
+        let inf = Influence::sphere(Vec2::ZERO, 10.0);
+        assert!(p.may_affect(&inf, 0.0, Vec2::new(70.0, 0.0)));
+        assert!(!p.may_affect(&inf, 0.0, Vec2::new(71.0, 0.0)));
+    }
+
+    #[test]
+    fn velocity_culling_follows_the_arrow() {
+        let mut p = params();
+        p.velocity_culling = true;
+        // An arrow flying +x at 100 u/s, influence declared at the origin.
+        let inf = Influence::sphere(Vec2::ZERO, 50.0).with_velocity(Vec2::new(100.0, 0.0));
+        let client_ahead = Vec2::new(100.0, 0.0);
+        let client_behind = Vec2::new(-40.0, 0.0);
+        // At age 1s the arrow is at x=100: the client ahead is in reach.
+        assert!(p.may_affect(&inf, 1.0, client_ahead));
+        // The client behind is only covered by the static sphere (radius
+        // 50), which culling discards: 140 away from the predicted point.
+        assert!(!p.may_affect(&inf, 1.0, client_behind));
+        // Without culling the static sphere (50 + slack 15.95) covers the
+        // behind client at distance 40.
+        p.velocity_culling = false;
+        assert!(p.may_affect(&inf, 1.0, client_behind));
+    }
+
+    #[test]
+    fn actions_without_velocity_use_static_sphere_even_when_culling() {
+        let mut p = params();
+        p.velocity_culling = true;
+        let inf = Influence::sphere(Vec2::ZERO, 10.0);
+        assert!(p.may_affect(&inf, 5.0, Vec2::new(25.0, 0.0)));
+    }
+
+    #[test]
+    fn motion_slack_formula() {
+        let p = params();
+        assert!((p.motion_slack() - 5.95).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,378 @@
+//! The SEVE client engine — Algorithms 1, 3, and 4.
+//!
+//! One engine serves every protocol variant; the server decides *which*
+//! items reach the client, the client's job is always the same:
+//!
+//! 1. **Optimistic execution** (step 2): a locally created action is
+//!    evaluated against ζ_CO immediately, queued in Q, and submitted.
+//! 2. **Stable application** (steps 4–5): serialized items from the server
+//!    are folded into ζ_CS in position order ([`crate::replay`]). Writes of
+//!    remote actions propagate to ζ_CO only for objects outside `WS(Q)` —
+//!    objects "not awaiting permanent values from the server".
+//! 3. **Reconciliation** (Algorithm 3): when an own action's stable outcome
+//!    disagrees with its optimistic one (or the action was dropped), the
+//!    optimistic state is reset from ζ_CS on `WS(Q)` and the remaining
+//!    pending actions are re-applied.
+//! 4. **Completion messages** (Algorithm 4 step 5): under the Incomplete
+//!    World Model the stable outcome of each own action is reported to the
+//!    server, which installs the values into ζ_S.
+
+use crate::config::{ProtocolConfig, ServerMode};
+use crate::engine::ClientNode;
+use crate::metrics::{ClientMetrics, EvalRecord};
+use crate::msg::{Payload, ToClient, ToServer};
+use crate::pending::PendingQueue;
+use crate::replay::ReplayLog;
+use seve_net::time::SimTime;
+use seve_world::action::{Action, Outcome};
+use seve_world::ids::{ActionId, ClientId, QueuePos};
+use seve_world::objset::ObjectSet;
+use seve_world::state::WorldState;
+use seve_world::GameWorld;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The client engine shared by all action-based protocol variants.
+pub struct SeveClient<W: GameWorld> {
+    id: ClientId,
+    world: Arc<W>,
+    mode: ServerMode,
+    redundant_completions: bool,
+    /// ζ_CO — the optimistic state the player sees.
+    zeta_co: WorldState,
+    /// ζ_CS materialization and the positioned item log.
+    replay: ReplayLog<W::Action>,
+    /// Q — pending own actions with their optimistic outcomes.
+    pending: PendingQueue<W::Action>,
+    next_seq: u32,
+    submit_times: BTreeMap<u32, SimTime>,
+    metrics: ClientMetrics,
+}
+
+impl<W: GameWorld> SeveClient<W> {
+    /// Build a client for `id` over `world` under `cfg`.
+    pub fn new(id: ClientId, world: Arc<W>, cfg: &ProtocolConfig) -> Self {
+        let initial = world.initial_state();
+        let mut replay = ReplayLog::new(initial.clone());
+        replay.set_verify_rebuilds(cfg.verify_rebuilds);
+        let metrics = ClientMetrics {
+            owner: id.0,
+            ..ClientMetrics::default()
+        };
+        Self {
+            id,
+            mode: cfg.mode,
+            redundant_completions: cfg.redundant_completions,
+            zeta_co: initial,
+            replay,
+            pending: PendingQueue::new(),
+            next_seq: 0,
+            submit_times: BTreeMap::new(),
+            metrics,
+            world,
+        }
+    }
+
+    /// Does this variant send completion messages? (Everything except the
+    /// basic broadcast protocol, which has no authoritative ζ_S.)
+    fn sends_completions(&self) -> bool {
+        self.mode != ServerMode::Basic
+    }
+
+    /// Number of pending (not yet returned) own actions.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of items currently held in the replay log (diagnostics; the
+    /// Section III-C memory optimization keeps this bounded when the server
+    /// sends GC notices).
+    pub fn replay_log_len(&self) -> usize {
+        self.replay.log_len()
+    }
+
+    /// Evaluate `action` against `state` for the stable side, recording
+    /// metrics and cost. Free function over split borrows so the replay log
+    /// can call it while mutably borrowed.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_for_replay(
+        world: &W,
+        metrics: &mut ClientMetrics,
+        cost_us: &mut u64,
+        pos: QueuePos,
+        action: &W::Action,
+        state: &WorldState,
+        first_time: bool,
+    ) -> Outcome {
+        let mut missing = 0u32;
+        let mut input_digest = 0xcbf2_9ce4_8422_2325u64;
+        for o in action.read_set().iter() {
+            match state.get(o) {
+                Some(obj) => input_digest = obj.fold_digest(input_digest),
+                None => missing += 1,
+            }
+        }
+        if let Ok(target) = std::env::var("SEVE_DEBUG_POS") {
+            if target.parse::<u64>() == Ok(pos) {
+                let vals: Vec<String> = action
+                    .read_set()
+                    .iter()
+                    .map(|o| format!("{o:?}={:?}", state.get(o)))
+                    .collect();
+                eprintln!(
+                    "EVALDUMP replica c{} pos {pos} first {first_time} action {:?} rs {}",
+                    metrics.owner, action.id(), vals.join(" | ")
+                );
+            }
+        }
+        let outcome = action.evaluate(world.env(), state);
+        metrics.evaluations += 1;
+        *cost_us += world.eval_cost_micros(action);
+        if first_time {
+            metrics.eval_records.push(EvalRecord {
+                pos,
+                id: action.id(),
+                digest: outcome.digest(),
+                input_digest,
+                missing_reads: missing,
+            });
+        }
+        outcome
+    }
+
+    /// Algorithm 3: reset ζ_CO from ζ_CS on `extra ∪ WS(Q)` and re-apply
+    /// the pending queue. Returns the compute cost of the re-evaluations.
+    fn reconcile(&mut self, extra: &ObjectSet) -> u64 {
+        self.metrics.reconciliations += 1;
+        let mut reset = self.pending.ws_set().clone();
+        reset.union_with(extra);
+        self.zeta_co.copy_objects_from(self.replay.state(), &reset);
+        let mut cost = 0u64;
+        let world = &self.world;
+        let zeta_co = &mut self.zeta_co;
+        self.pending.reapply(|a| {
+            let o = a.evaluate(world.env(), zeta_co);
+            zeta_co.apply_writes(&o.writes);
+            cost += world.eval_cost_micros(a);
+            o
+        });
+        self.metrics.evaluations += self.pending.len() as u64;
+        cost
+    }
+
+    /// Full optimistic resync after an out-of-order replay rebuild: ζ_CO
+    /// becomes ζ_CS plus a fresh optimistic replay of Q. (The incremental
+    /// propagation rule is only sound for in-order application.)
+    fn resync_optimistic(&mut self) -> u64 {
+        self.metrics.replay_rebuilds += 1;
+        self.zeta_co = self.replay.state().clone();
+        let mut cost = 0u64;
+        let world = &self.world;
+        let zeta_co = &mut self.zeta_co;
+        self.pending.reapply(|a| {
+            let o = a.evaluate(world.env(), zeta_co);
+            zeta_co.apply_writes(&o.writes);
+            cost += world.eval_cost_micros(a);
+            o
+        });
+        self.metrics.evaluations += self.pending.len() as u64;
+        cost
+    }
+
+    /// Handle the return of one of our own actions with its stable outcome.
+    fn own_action_returned(
+        &mut self,
+        now: SimTime,
+        id: ActionId,
+        stable: &Outcome,
+    ) -> u64 {
+        let mut cost = 0;
+        // In-order servers return our actions in submission order, so this
+        // is almost always the head; remove_by_id also covers the head.
+        let Some(entry) = self.pending.remove_by_id(id) else {
+            debug_assert!(false, "own action {id:?} returned but not pending");
+            return 0;
+        };
+        debug_assert_eq!(entry.action.id(), id);
+        if let Some(t) = self.submit_times.remove(&id.seq) {
+            self.metrics.response_ms.record((now - t).as_ms_f64());
+        }
+        if entry.optimistic != *stable {
+            // "Otherwise, ζ_CO is reconciled with ζ_CS using Algorithm 3."
+            // The returned action's writes polluted ζ_CO too; include them
+            // in the reset set.
+            cost += self.reconcile(&entry.action.write_set().clone());
+        }
+        cost
+    }
+}
+
+impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
+    type Up = ToServer<W::Action>;
+    type Down = ToClient<W::Action>;
+
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn next_seq(&self) -> u32 {
+        self.next_seq
+    }
+
+    fn optimistic(&self) -> &WorldState {
+        &self.zeta_co
+    }
+
+    fn stable(&self) -> &WorldState {
+        self.replay.state()
+    }
+
+    fn submit(&mut self, now: SimTime, action: W::Action, out: &mut Vec<Self::Up>) -> u64 {
+        debug_assert_eq!(action.issuer(), self.id);
+        debug_assert_eq!(action.id().seq, self.next_seq);
+        debug_assert!(
+            {
+                let mut rs = action.read_set().clone();
+                rs.union_with(action.write_set());
+                rs == *action.read_set()
+            },
+            "the paper assumes RS(a) ⊇ WS(a)"
+        );
+        self.next_seq += 1;
+        // Optimistic evaluation against ζ_CO (Algorithm 1 step 2).
+        let optimistic = action.evaluate(self.world.env(), &self.zeta_co);
+        self.zeta_co.apply_writes(&optimistic.writes);
+        let cost = self.world.eval_cost_micros(&action);
+        self.metrics.evaluations += 1;
+        self.metrics.submitted += 1;
+        self.submit_times.insert(action.id().seq, now);
+        self.pending.push(action.clone(), optimistic);
+        out.push(ToServer::Submit { action });
+        self.metrics.compute_us += cost;
+        cost
+    }
+
+    fn deliver(&mut self, now: SimTime, msg: Self::Down, out: &mut Vec<Self::Up>) -> u64 {
+        let mut cost = 0u64;
+        match msg {
+            ToClient::Batch { items } => {
+                self.metrics.batches += 1;
+                for item in items {
+                    match item.payload {
+                        Payload::Blind(snap) => {
+                            if std::env::var("SEVE_DEBUG_C38").is_ok()
+                                && self.id.0 == 38
+                                && snap.iter().any(|(o, _)| o.0 == 36)
+                            {
+                                let v = snap
+                                    .iter()
+                                    .find(|(o, _)| o.0 == 36)
+                                    .map(|(_, obj)| format!("{obj:?}"))
+                                    .unwrap_or_default();
+                                eprintln!("C38 blind as_of {} o36 {}", item.pos, v);
+                            }
+                            let world = &self.world;
+                            let metrics = &mut self.metrics;
+                            let ins = self.replay.insert_blind(item.pos, snap.clone(), {
+                                let cost = &mut cost;
+                                move |p, a, s, f| {
+                                    Self::eval_for_replay(world, metrics, cost, p, a, s, f)
+                                }
+                            });
+                            if ins.rebuilt {
+                                cost += self.resync_optimistic();
+                            } else if !ins.ignored {
+                                // Propagate to ζ_CO except items awaiting
+                                // permanent values (Algorithm 4 step 4).
+                                // Blinds the replay discarded as stale must
+                                // not regress ζ_CO either.
+                                let ws_q = self.pending.ws_set().clone();
+                                self.zeta_co.apply_snapshot_except(&snap, &ws_q);
+                            }
+                        }
+                        Payload::Action(action) => {
+                            if std::env::var("SEVE_DEBUG_C38").is_ok()
+                                && self.id.0 == 38
+                                && action.issuer().0 == 36
+                            {
+                                eprintln!("C38 recv action {:?} pos {}", action.id(), item.pos);
+                            }
+                            if self.replay.has_action(item.pos) {
+                                if std::env::var("SEVE_DEBUG_DUP").is_ok() {
+                                    eprintln!(
+                                        "DUP client {:?} pos {} issuer {:?} base_pos {}",
+                                        self.id, item.pos, action.issuer(), self.replay.base_pos()
+                                    );
+                                }
+                                // Duplicate delivery (e.g. redundant push):
+                                // already applied, ignore.
+                                continue;
+                            }
+                            let own = action.issuer() == self.id;
+                            let id = action.id();
+                            let world = &self.world;
+                            let metrics = &mut self.metrics;
+                            let ins = self.replay.insert_action(item.pos, action, {
+                                let cost = &mut cost;
+                                move |p, a, s, f| {
+                                    Self::eval_for_replay(world, metrics, cost, p, a, s, f)
+                                }
+                            });
+                            let stable = ins.outcome.expect("actions produce outcomes");
+                            if own && std::env::var("SEVE_DEBUG_OWN").is_ok() {
+                                eprintln!("OWNRET client {:?} pos {}", self.id, item.pos);
+                            }
+                            if own {
+                                cost += self.own_action_returned(now, id, &stable);
+                            }
+                            if ins.rebuilt {
+                                cost += self.resync_optimistic();
+                            } else if !own {
+                                let ws_q = self.pending.ws_set().clone();
+                                self.zeta_co.apply_writes_except(&stable.writes, &ws_q);
+                            }
+                            if self.sends_completions()
+                                && (own || self.redundant_completions)
+                            {
+                                self.metrics.completions_sent += 1;
+                                out.push(ToServer::Completion {
+                                    pos: item.pos,
+                                    id,
+                                    writes: stable.writes.clone(),
+                                    aborted: stable.aborted,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            ToClient::Dropped { id, pos: _ } => {
+                // Our action was dropped by Algorithm 7: it aborts as a
+                // no-op everywhere. Roll its optimistic effects back.
+                if let Some(entry) = self.pending.remove_by_id(id) {
+                    self.metrics.dropped += 1;
+                    if let Some(t) = self.submit_times.remove(&id.seq) {
+                        self.metrics.drop_notice_ms.record((now - t).as_ms_f64());
+                    }
+                    cost += self.reconcile(&entry.action.write_set().clone());
+                } else {
+                    debug_assert!(false, "drop notice for unknown action {id:?}");
+                }
+            }
+            ToClient::GcUpTo { pos } => {
+                self.replay.gc(pos);
+            }
+        }
+        self.metrics.replay_divergences = self.replay.divergences();
+        self.metrics.compute_us += cost;
+        cost
+    }
+
+    fn metrics_mut(&mut self) -> &mut ClientMetrics {
+        &mut self.metrics
+    }
+
+    fn metrics(&self) -> &ClientMetrics {
+        &self.metrics
+    }
+}

@@ -1,0 +1,589 @@
+//! The server's action queue, transitive-closure computation
+//! (Algorithm 6), and chain-breaking analysis (Algorithm 7).
+//!
+//! The server's only data structures are the authoritative state ζ_S and a
+//! queue of uncommitted actions with per-action bookkeeping: which clients
+//! each action has been sent to (`sent(a)`), its completion if received,
+//! and its Algorithm 7 validity. Both algorithms are backwards scans over
+//! the queue intersecting read/write sets:
+//!
+//! * [`closure_for`] — given candidate actions to deliver to a client,
+//!   collect the transitively conflicting *unsent* actions that must
+//!   accompany them, and the residual read-set `S` to be satisfied by a
+//!   blind write `W(S, ζ_S(S))`.
+//! * [`analyze_new_actions`] — Algorithm 7's `onNextTick`: walk each newly
+//!   submitted action's conflict chain; if the chain reaches an action
+//!   farther than `threshold`, drop the new action.
+
+use seve_world::action::{Action, Influence, Outcome};
+use seve_world::ids::{ClientId, QueuePos};
+use seve_world::objset::ObjectSet;
+use seve_net::time::SimTime;
+use std::collections::VecDeque;
+
+/// A growable bitmap over client indices — the `sent(a)` set.
+#[derive(Clone, Debug, Default)]
+pub struct ClientSet {
+    words: Vec<u64>,
+}
+
+impl ClientSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is `c` in the set?
+    #[inline]
+    pub fn contains(&self, c: ClientId) -> bool {
+        let i = c.index();
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Insert `c`; returns whether it was newly inserted.
+    pub fn insert(&mut self, c: ClientId) -> bool {
+        let i = c.index();
+        if self.words.len() <= i / 64 {
+            self.words.resize(i / 64 + 1, 0);
+        }
+        let bit = 1 << (i % 64);
+        let newly = self.words[i / 64] & bit == 0;
+        self.words[i / 64] |= bit;
+        newly
+    }
+
+    /// Number of clients in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// One uncommitted action held by the server.
+#[derive(Clone, Debug)]
+pub struct QueueEntry<A> {
+    /// The serialization position `pos(a)`.
+    pub pos: QueuePos,
+    /// The action itself.
+    pub action: A,
+    /// Cached read set (`RS(a)`).
+    pub rs: ObjectSet,
+    /// Cached write set (`WS(a)`).
+    pub ws: ObjectSet,
+    /// Cached influence, for the bound tests.
+    pub influence: Influence,
+    /// When the action was received by the server.
+    pub submit_time: SimTime,
+    /// Which clients this action has been sent to — `sent(a)` of
+    /// Algorithm 5.
+    pub sent: ClientSet,
+    /// The completion (stable outcome) if one has arrived.
+    pub completion: Option<Outcome>,
+    /// Dropped by Algorithm 7: the action is a no-op everywhere.
+    pub dropped: bool,
+}
+
+/// The server's global queue of uncommitted actions, positions assigned
+/// densely from 1.
+pub struct ActionQueue<A> {
+    entries: VecDeque<QueueEntry<A>>,
+    /// Position that will be assigned to the next pushed action.
+    next_pos: QueuePos,
+}
+
+impl<A: Action> Default for ActionQueue<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Action> ActionQueue<A> {
+    /// An empty queue; the first action gets position 1.
+    pub fn new() -> Self {
+        Self {
+            entries: VecDeque::new(),
+            next_pos: 1,
+        }
+    }
+
+    /// Number of uncommitted entries held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the queue empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The position of the oldest held entry (or `next_pos` if empty).
+    #[inline]
+    pub fn first_pos(&self) -> QueuePos {
+        self.next_pos - self.entries.len() as QueuePos
+    }
+
+    /// The position of the newest held entry, if any.
+    pub fn last_pos(&self) -> Option<QueuePos> {
+        (!self.entries.is_empty()).then(|| self.next_pos - 1)
+    }
+
+    /// Timestamp and enqueue an action (Algorithm 2 step a), returning its
+    /// position.
+    pub fn push(&mut self, action: A, now: SimTime) -> QueuePos {
+        let pos = self.next_pos;
+        self.next_pos += 1;
+        let rs = action.read_set().clone();
+        let ws = action.write_set().clone();
+        debug_assert!(
+            {
+                let mut u = rs.clone();
+                u.union_with(&ws);
+                u == rs
+            },
+            "RS(a) must contain WS(a)"
+        );
+        let influence = action.influence();
+        self.entries.push_back(QueueEntry {
+            pos,
+            action,
+            rs,
+            ws,
+            influence,
+            submit_time: now,
+            sent: ClientSet::new(),
+            completion: None,
+            dropped: false,
+        });
+        pos
+    }
+
+    /// The entry at `pos`, if still held.
+    pub fn get(&self, pos: QueuePos) -> Option<&QueueEntry<A>> {
+        let first = self.first_pos();
+        if pos < first || pos >= self.next_pos {
+            return None;
+        }
+        self.entries.get((pos - first) as usize)
+    }
+
+    /// Mutable access to the entry at `pos`.
+    pub fn get_mut(&mut self, pos: QueuePos) -> Option<&mut QueueEntry<A>> {
+        let first = self.first_pos();
+        if pos < first || pos >= self.next_pos {
+            return None;
+        }
+        self.entries.get_mut((pos - first) as usize)
+    }
+
+    /// The oldest held entry.
+    pub fn front(&self) -> Option<&QueueEntry<A>> {
+        self.entries.front()
+    }
+
+    /// Discard the oldest held entry (after install, Algorithm 5 step 5).
+    pub fn pop_front(&mut self) -> Option<QueueEntry<A>> {
+        self.entries.pop_front()
+    }
+
+    /// Iterate over held entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueEntry<A>> {
+        self.entries.iter()
+    }
+
+    /// Iterate mutably, newest first (the scan direction of Algorithms 6
+    /// and 7).
+    pub fn iter_mut_rev(&mut self) -> impl Iterator<Item = &mut QueueEntry<A>> {
+        self.entries.iter_mut().rev()
+    }
+}
+
+/// The result of a closure computation for one client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosureResult {
+    /// Positions of actions to send, ascending — candidates plus their
+    /// unsent transitive support. `sent` bits have been updated.
+    pub send: Vec<QueuePos>,
+    /// The residual read-set `S` to satisfy with a blind write
+    /// `W(S, ζ_S(S))`.
+    pub blind_set: ObjectSet,
+    /// Queue entries examined (the paper's closure cost driver).
+    pub scanned: usize,
+}
+
+/// Algorithm 6, generalized to a set of candidate actions (the per-reply
+/// case of the Incomplete World Model is a single candidate; the First
+/// Bound push cycle seeds many).
+///
+/// Scans the queue backwards from the newest candidate. An entry is taken
+/// if it is a candidate or its write set intersects the accumulated
+/// read-support `S`; taken entries not yet sent to `client` are added to
+/// the reply (and their read sets to `S`), while entries already sent
+/// subtract their write sets from `S` — the client already has those
+/// values. Whatever remains in `S` must come from committed state via a
+/// blind write.
+pub fn closure_for<A: Action>(
+    queue: &mut ActionQueue<A>,
+    client: ClientId,
+    candidates: &[QueuePos],
+) -> ClosureResult {
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+    let mut send = Vec::with_capacity(candidates.len());
+    let mut s = ObjectSet::new();
+    let mut scanned = 0usize;
+    let mut cand_iter = candidates.iter().rev().peekable();
+    let newest = match candidates.last() {
+        Some(&p) => p,
+        None => {
+            return ClosureResult {
+                send,
+                blind_set: s,
+                scanned,
+            }
+        }
+    };
+    for e in queue.iter_mut_rev() {
+        if e.pos > newest {
+            continue;
+        }
+        scanned += 1;
+        let is_cand = cand_iter.peek().is_some_and(|&&p| p == e.pos);
+        if is_cand {
+            cand_iter.next();
+        }
+        if e.dropped {
+            // Dropped actions are no-ops: they neither need sending nor
+            // supply values. (A dropped candidate is the issuer's problem;
+            // the server has already sent a Dropped notice.)
+            continue;
+        }
+        let conflicts = e.ws.intersects(&s);
+        if !is_cand && !conflicts {
+            continue;
+        }
+        if e.sent.contains(client) {
+            if conflicts {
+                // The client already holds this action: its writes satisfy
+                // that part of the support.
+                s.subtract(&e.ws);
+            }
+        } else {
+            send.push(e.pos);
+            s.union_with(&e.rs);
+            e.sent.insert(client);
+        }
+        if s.is_empty() && cand_iter.peek().is_none() {
+            break; // nothing left to resolve — sound early exit
+        }
+    }
+    send.reverse();
+    ClosureResult {
+        send,
+        blind_set: s,
+        scanned,
+    }
+}
+
+/// The result of one Algorithm 7 tick.
+#[derive(Debug, Clone, Default)]
+pub struct DropAnalysis {
+    /// Positions dropped this tick (their entries are marked).
+    pub dropped: Vec<QueuePos>,
+    /// Total queue entries examined.
+    pub scanned: usize,
+    /// Conflict-chain length of each analyzed action.
+    pub chain_lens: Vec<usize>,
+}
+
+/// Algorithm 7's `onNextTick`: for every action with `pos ≥ from`, walk its
+/// transitive conflict chain backwards through valid uncommitted actions;
+/// if any chain member lies farther than `threshold` from the action,
+/// drop it. Decisions are sequential in position order — "this enables the
+/// model to accept a majority of the actions, while dropping only those
+/// that invalidate the bound."
+pub fn analyze_new_actions<A: Action>(
+    queue: &mut ActionQueue<A>,
+    from: QueuePos,
+    threshold: f64,
+) -> DropAnalysis {
+    let mut result = DropAnalysis::default();
+    let first = queue.first_pos();
+    let last = match queue.last_pos() {
+        Some(l) => l,
+        None => return result,
+    };
+    let start = from.max(first);
+    for pos in start..=last {
+        // Split the queue at `pos`: the scan below reads entries before
+        // `pos` while we decide the fate of `pos` itself.
+        let (mut s, center) = {
+            let e = queue.get(pos).expect("position in range");
+            if e.dropped {
+                continue;
+            }
+            (e.rs.clone(), e.influence.center)
+        };
+        let mut invalid = false;
+        let mut chain = 0usize;
+        let mut j = pos;
+        while j > first {
+            j -= 1;
+            result.scanned += 1;
+            let ej = queue.get(j).expect("position in range");
+            if ej.dropped {
+                continue; // isValid_j is false — skip, as the paper does
+            }
+            if ej.ws.intersects(&s) {
+                chain += 1;
+                if center.dist(ej.influence.center) > threshold {
+                    if std::env::var("SEVE_DEBUG_DROPS").is_ok() {
+                        eprintln!(
+                            "DROP pos {} center {:?} vs pos {} center {:?} dist {:.1} chain {}",
+                            pos, center, j, ej.influence.center,
+                            center.dist(ej.influence.center), chain
+                        );
+                    }
+                    invalid = true;
+                    break;
+                }
+                // (S − WS) ∪ RS simplifies to S ∪ RS since RS ⊇ WS.
+                s.union_with(&ej.rs);
+            }
+        }
+        result.chain_lens.push(chain);
+        if invalid {
+            queue.get_mut(pos).expect("in range").dropped = true;
+            result.dropped.push(pos);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seve_world::action::Outcome;
+    use seve_world::geometry::Vec2;
+    use seve_world::ids::{ActionId, ObjectId};
+    use seve_world::state::WorldState;
+
+    /// A test action with explicit sets and position.
+    #[derive(Clone, Debug)]
+    struct TestAction {
+        id: ActionId,
+        rs: ObjectSet,
+        ws: ObjectSet,
+        center: Vec2,
+    }
+
+    fn act(client: u16, seq: u32, reads: &[u32], writes: &[u32], x: f64) -> TestAction {
+        let rs: ObjectSet = reads
+            .iter()
+            .chain(writes.iter())
+            .map(|&i| ObjectId(i))
+            .collect();
+        TestAction {
+            id: ActionId::new(ClientId(client), seq),
+            rs,
+            ws: writes.iter().map(|&i| ObjectId(i)).collect(),
+            center: Vec2::new(x, 0.0),
+        }
+    }
+
+    impl Action for TestAction {
+        type Env = ();
+        fn id(&self) -> ActionId {
+            self.id
+        }
+        fn read_set(&self) -> &ObjectSet {
+            &self.rs
+        }
+        fn write_set(&self) -> &ObjectSet {
+            &self.ws
+        }
+        fn influence(&self) -> Influence {
+            Influence::sphere(self.center, 1.0)
+        }
+        fn evaluate(&self, _e: &(), _s: &WorldState) -> Outcome {
+            Outcome::abort()
+        }
+        fn wire_bytes(&self) -> u32 {
+            8
+        }
+    }
+
+    fn push<A: Action>(q: &mut ActionQueue<A>, a: A) -> QueuePos {
+        q.push(a, SimTime::ZERO)
+    }
+
+    #[test]
+    fn client_set_basics() {
+        let mut s = ClientSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(ClientId(3)));
+        assert!(!s.insert(ClientId(3)));
+        assert!(s.insert(ClientId(100)));
+        assert!(s.contains(ClientId(3)));
+        assert!(s.contains(ClientId(100)));
+        assert!(!s.contains(ClientId(4)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn queue_positions_are_dense_from_one() {
+        let mut q = ActionQueue::new();
+        assert_eq!(push(&mut q, act(0, 0, &[], &[1], 0.0)), 1);
+        assert_eq!(push(&mut q, act(1, 0, &[], &[2], 0.0)), 2);
+        assert_eq!(q.first_pos(), 1);
+        assert_eq!(q.last_pos(), Some(2));
+        assert_eq!(q.get(1).unwrap().pos, 1);
+        q.pop_front();
+        assert_eq!(q.first_pos(), 2);
+        assert!(q.get(1).is_none());
+        assert_eq!(q.get(2).unwrap().pos, 2);
+    }
+
+    #[test]
+    fn closure_single_candidate_no_conflicts() {
+        let mut q = ActionQueue::new();
+        push(&mut q, act(0, 0, &[], &[1], 0.0));
+        let p2 = push(&mut q, act(1, 0, &[], &[2], 0.0));
+        let r = closure_for(&mut q, ClientId(1), &[p2]);
+        assert_eq!(r.send, vec![p2], "unrelated a1 not included");
+        // Blind must cover a2's read support (its own read set).
+        assert_eq!(r.blind_set.as_slice(), &[ObjectId(2)]);
+        assert!(q.get(p2).unwrap().sent.contains(ClientId(1)));
+        assert!(!q.get(1).unwrap().sent.contains(ClientId(1)));
+    }
+
+    #[test]
+    fn closure_pulls_transitive_support() {
+        // a1 writes x; a2 reads x writes y; a3 reads y. Closure of a3 must
+        // include a2 and a1.
+        let mut q = ActionQueue::new();
+        let p1 = push(&mut q, act(0, 0, &[], &[10], 0.0));
+        let p2 = push(&mut q, act(1, 0, &[10], &[20], 0.0));
+        let p3 = push(&mut q, act(2, 0, &[20], &[30], 0.0));
+        let r = closure_for(&mut q, ClientId(2), &[p3]);
+        assert_eq!(r.send, vec![p1, p2, p3]);
+        // Support resolved transitively; blind covers the outermost reads.
+        assert!(r.blind_set.contains(ObjectId(10)));
+    }
+
+    #[test]
+    fn closure_skips_already_sent_and_subtracts_their_writes() {
+        let mut q = ActionQueue::new();
+        let p1 = push(&mut q, act(0, 0, &[], &[10], 0.0));
+        let p2 = push(&mut q, act(1, 0, &[10], &[20], 0.0));
+        // First reply: client 5 receives both.
+        let r1 = closure_for(&mut q, ClientId(5), &[p2]);
+        assert_eq!(r1.send, vec![p1, p2]);
+        // A new action reading 20: support (p2, p1) already sent.
+        let p3 = push(&mut q, act(2, 0, &[20], &[30], 0.0));
+        let r2 = closure_for(&mut q, ClientId(5), &[p3]);
+        assert_eq!(r2.send, vec![p3], "sent support not re-sent");
+        // 20 supplied by the already-sent p2 → not in the blind set.
+        assert!(!r2.blind_set.contains(ObjectId(20)));
+        assert!(r2.blind_set.contains(ObjectId(30)), "own reads still blind");
+    }
+
+    #[test]
+    fn closure_ignores_dropped_entries() {
+        let mut q = ActionQueue::new();
+        let p1 = push(&mut q, act(0, 0, &[], &[10], 0.0));
+        q.get_mut(p1).unwrap().dropped = true;
+        let p2 = push(&mut q, act(1, 0, &[10], &[20], 0.0));
+        let r = closure_for(&mut q, ClientId(1), &[p2]);
+        assert_eq!(r.send, vec![p2]);
+        // The dropped writer supplies nothing: 10 must come from committed
+        // state.
+        assert!(r.blind_set.contains(ObjectId(10)));
+    }
+
+    #[test]
+    fn closure_multi_candidate_merges_support() {
+        let mut q = ActionQueue::new();
+        let p1 = push(&mut q, act(0, 0, &[], &[10], 0.0));
+        let p2 = push(&mut q, act(1, 0, &[], &[20], 0.0));
+        let p3 = push(&mut q, act(2, 0, &[10], &[30], 0.0));
+        let p4 = push(&mut q, act(3, 0, &[20], &[40], 0.0));
+        let r = closure_for(&mut q, ClientId(9), &[p3, p4]);
+        assert_eq!(r.send, vec![p1, p2, p3, p4]);
+    }
+
+    #[test]
+    fn closure_with_no_candidates_is_empty() {
+        let mut q = ActionQueue::new();
+        push(&mut q, act(0, 0, &[], &[1], 0.0));
+        let r = closure_for(&mut q, ClientId(0), &[]);
+        assert!(r.send.is_empty());
+        assert!(r.blind_set.is_empty());
+        assert_eq!(r.scanned, 0);
+    }
+
+    #[test]
+    fn analysis_drops_long_distance_chains() {
+        // Two conflicting actions far apart: the later one is dropped.
+        let mut q = ActionQueue::new();
+        let p1 = push(&mut q, act(0, 0, &[], &[10], 0.0));
+        let p2 = push(&mut q, act(1, 0, &[10], &[20], 100.0));
+        let r = analyze_new_actions(&mut q, 1, 50.0);
+        assert_eq!(r.dropped, vec![p2]);
+        assert!(q.get(p2).unwrap().dropped);
+        assert!(!q.get(p1).unwrap().dropped);
+    }
+
+    #[test]
+    fn analysis_keeps_local_chains() {
+        let mut q = ActionQueue::new();
+        push(&mut q, act(0, 0, &[], &[10], 0.0));
+        let p2 = push(&mut q, act(1, 0, &[10], &[20], 30.0));
+        let r = analyze_new_actions(&mut q, 1, 50.0);
+        assert!(r.dropped.is_empty());
+        assert!(!q.get(p2).unwrap().dropped);
+        assert_eq!(r.chain_lens, vec![0, 1]);
+    }
+
+    #[test]
+    fn analysis_chain_breaking_is_sequential() {
+        // Dining-philosophers style chain along a line, spacing 40,
+        // threshold 50: each link is fine (40 < 50) but the transitive
+        // chain accumulates; once a chain member is > 50 away the action
+        // drops, and the dropped action breaks the chain for its
+        // successors.
+        let mut q = ActionQueue::new();
+        let mut pos = Vec::new();
+        for i in 0..6u32 {
+            // Action i writes fork i and fork i+1 (shared with neighbour).
+            pos.push(push(
+                &mut q,
+                act(i as u16, 0, &[], &[i, i + 1], 40.0 * i as f64),
+            ));
+        }
+        let r = analyze_new_actions(&mut q, 1, 50.0);
+        // Action 0 trivially valid; action 1 conflicts with 0 (40 away, ok);
+        // action 2 conflicts with 1 (40, ok) which chains to 0 (80 > 50) →
+        // dropped; action 3 conflicts with 2 (dropped, skipped) → chain
+        // restarts from 3... and so on. Every third action drops.
+        assert_eq!(r.dropped, vec![pos[2], pos[5]]);
+    }
+
+    #[test]
+    fn analysis_ignores_positions_before_from() {
+        let mut q = ActionQueue::new();
+        push(&mut q, act(0, 0, &[], &[10], 0.0));
+        let p2 = push(&mut q, act(1, 0, &[10], &[20], 1000.0));
+        // Analyze only from p2+1 (nothing new): no drops even though p2's
+        // chain is long.
+        let r = analyze_new_actions(&mut q, p2 + 1, 50.0);
+        assert!(r.dropped.is_empty());
+        assert_eq!(r.chain_lens.len(), 0);
+    }
+}

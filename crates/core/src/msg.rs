@@ -1,0 +1,219 @@
+//! Protocol messages.
+//!
+//! "In our action based protocols, the messages passed between the clients
+//! and the server primarily consist of actions, as opposed to objects"
+//! (Section III-A). Four message kinds flow:
+//!
+//! * client → server: [`ToServer::Submit`] (step 2 of Algorithms 1/4) and
+//!   [`ToServer::Completion`] (step 5 of Algorithm 4).
+//! * server → client: [`ToClient::Batch`] of ordered [`Item`]s — serialized
+//!   actions and blind writes `W(S, ζ_S(S))`; [`ToClient::Dropped`] abort
+//!   notices from Algorithm 7; and [`ToClient::GcUpTo`] install notices
+//!   enabling client-side garbage collection (Section III-C).
+//!
+//! Every message knows its approximate encoded size so the simulated links
+//! can account bandwidth (Figure 9) without actually serializing.
+
+use crate::engine::WireSize;
+use seve_world::ids::{ActionId, QueuePos};
+use seve_world::state::{Snapshot, WriteLog};
+use seve_world::Action;
+
+/// An entry in a server→client batch, ordered by queue position.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Item<A> {
+    /// For an action: its serialization position `pos(a)`. For a blind
+    /// write: the committed position whose state it captures (`as_of`);
+    /// it applies after every action at or before that position.
+    pub pos: QueuePos,
+    /// The payload.
+    pub payload: Payload<A>,
+}
+
+/// The payload of an [`Item`].
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Payload<A> {
+    /// A serialized action to evaluate at its position.
+    Action(A),
+    /// A blind write `W(S, ζ_S(S))`: authoritative committed values.
+    Blind(Snapshot),
+}
+
+impl<A: Action> Item<A> {
+    /// An action item.
+    pub fn action(pos: QueuePos, a: A) -> Self {
+        Item {
+            pos,
+            payload: Payload::Action(a),
+        }
+    }
+
+    /// A blind-write item capturing committed state as of `as_of`.
+    pub fn blind(as_of: QueuePos, snap: Snapshot) -> Self {
+        Item {
+            pos: as_of,
+            payload: Payload::Blind(snap),
+        }
+    }
+}
+
+impl<A: Action> WireSize for Item<A> {
+    fn wire_bytes(&self) -> u32 {
+        8 + match &self.payload {
+            Payload::Action(a) => 1 + a.wire_bytes(),
+            Payload::Blind(s) => 1 + s.wire_bytes(),
+        }
+    }
+}
+
+/// Client → server messages.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ToServer<A> {
+    /// Submit a freshly created action for serialization (Algorithm 1/4
+    /// step 2).
+    Submit {
+        /// The action.
+        action: A,
+    },
+    /// Report the stable result of an evaluated action (Algorithm 4 step 5).
+    /// Carries the full write log because the server installs *values* into
+    /// ζ_S without executing game logic (Algorithm 5 step 5).
+    Completion {
+        /// The queue position of the completed action.
+        pos: QueuePos,
+        /// The action's identity (for cross-checking).
+        id: ActionId,
+        /// The computed writes (empty if the action aborted).
+        writes: WriteLog,
+        /// Did the action abort (behave as a no-op)?
+        aborted: bool,
+    },
+}
+
+impl<A: Action> WireSize for ToServer<A> {
+    fn wire_bytes(&self) -> u32 {
+        match self {
+            ToServer::Submit { action } => 1 + action.wire_bytes(),
+            ToServer::Completion { writes, .. } => 1 + 8 + 6 + 1 + writes.wire_bytes(),
+        }
+    }
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum ToClient<A> {
+    /// An ordered batch of serialized actions and blind writes.
+    Batch {
+        /// Items in ascending position order (blind writes first among
+        /// equal positions).
+        items: Vec<Item<A>>,
+    },
+    /// The client's own action was dropped by the Information Bound Model
+    /// (Algorithm 7): it aborts as a no-op everywhere.
+    Dropped {
+        /// Identity of the dropped action.
+        id: ActionId,
+        /// The queue position it held.
+        pos: QueuePos,
+    },
+    /// Everything at or before `pos` is installed in ζ_S; the client may
+    /// garbage-collect its replay log up to there (Section III-C).
+    GcUpTo {
+        /// The last installed position.
+        pos: QueuePos,
+    },
+}
+
+impl<A: Action> WireSize for ToClient<A> {
+    fn wire_bytes(&self) -> u32 {
+        match self {
+            ToClient::Batch { items } => {
+                2 + items.iter().map(WireSize::wire_bytes).sum::<u32>()
+            }
+            ToClient::Dropped { .. } => 1 + 6 + 8,
+            ToClient::GcUpTo { .. } => 1 + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seve_world::action::{Influence, Outcome};
+    use seve_world::geometry::Vec2;
+    use seve_world::ids::{AttrId, ClientId, ObjectId};
+    use seve_world::objset::ObjectSet;
+    use seve_world::state::WorldState;
+
+    /// A minimal test action.
+    #[derive(Clone, Debug)]
+    pub struct NopAction {
+        id: ActionId,
+        set: ObjectSet,
+    }
+
+    impl NopAction {
+        pub fn new(client: u16, seq: u32) -> Self {
+            Self {
+                id: ActionId::new(ClientId(client), seq),
+                set: ObjectSet::singleton(ObjectId(0)),
+            }
+        }
+    }
+
+    impl Action for NopAction {
+        type Env = ();
+        fn id(&self) -> ActionId {
+            self.id
+        }
+        fn read_set(&self) -> &ObjectSet {
+            &self.set
+        }
+        fn write_set(&self) -> &ObjectSet {
+            &self.set
+        }
+        fn influence(&self) -> Influence {
+            Influence::sphere(Vec2::ZERO, 1.0)
+        }
+        fn evaluate(&self, _env: &(), _state: &WorldState) -> Outcome {
+            Outcome::abort()
+        }
+        fn wire_bytes(&self) -> u32 {
+            10
+        }
+    }
+
+    #[test]
+    fn item_sizes() {
+        let a = Item::action(1, NopAction::new(0, 0));
+        assert_eq!(a.wire_bytes(), 8 + 1 + 10);
+        let mut snap = Snapshot::new();
+        snap.push(ObjectId(1), seve_world::WorldObject::new());
+        let b: Item<NopAction> = Item::blind(0, snap.clone());
+        assert_eq!(b.wire_bytes(), 8 + 1 + snap.wire_bytes());
+    }
+
+    #[test]
+    fn batch_size_sums_items() {
+        let batch: ToClient<NopAction> = ToClient::Batch {
+            items: vec![
+                Item::action(1, NopAction::new(0, 0)),
+                Item::action(2, NopAction::new(1, 0)),
+            ],
+        };
+        assert_eq!(batch.wire_bytes(), 2 + 2 * 19);
+    }
+
+    #[test]
+    fn completion_size_includes_writes() {
+        let mut w = WriteLog::new();
+        w.push(ObjectId(0), AttrId(0), 1i64.into());
+        let m: ToServer<NopAction> = ToServer::Completion {
+            pos: 3,
+            id: ActionId::new(ClientId(0), 0),
+            writes: w.clone(),
+            aborted: false,
+        };
+        assert_eq!(m.wire_bytes(), 1 + 8 + 6 + 1 + w.wire_bytes());
+    }
+}

@@ -1,0 +1,493 @@
+//! Ordered replay of serialized items — the client's stable state ζ_CS.
+//!
+//! Under the Incomplete World Model the server may deliver an *older*
+//! action in a *later* reply (Algorithm 6 sends actions lazily, per
+//! client). The stable state must nevertheless reflect items in **queue
+//! position order**, so the client keeps a positioned log:
+//!
+//! * a `base` checkpoint — its (partial) knowledge of the committed state
+//!   up to `base_pos`, advanced by [`ReplayLog::gc`] when the server
+//!   reports installs;
+//! * the received items after `base_pos`, keyed so that an action at
+//!   position `p` applies before a blind write `as_of = p`, which applies
+//!   before the action at `p + 1`;
+//! * a materialized `cache` = base ⊕ replay(items).
+//!
+//! In-order arrivals (the overwhelmingly common case) extend the cache
+//! incrementally. An out-of-order arrival rebuilds the cache by replaying
+//! from `base` — and, by the closure property of Algorithm 6, every
+//! re-evaluated action reproduces its original outcome (an action that
+//! could have changed an already-evaluated action's inputs would have been
+//! in that action's closure and hence already present). Debug builds and
+//! the consistency oracle verify this.
+
+use seve_world::action::{Action, Outcome};
+use seve_world::ids::QueuePos;
+use seve_world::state::{Snapshot, WorldState};
+use std::collections::BTreeMap;
+
+/// Sort key: `(position, phase, arrival)` where phase 0 = the action at
+/// this position, phase 1 = a blind write capturing committed state *after*
+/// this position.
+type Key = (QueuePos, u8, u64);
+
+enum LogItem<A> {
+    Action {
+        action: A,
+        /// The outcome of the most recent evaluation, reused by `gc` so
+        /// checkpoint advancement never re-runs game code.
+        outcome: Option<Outcome>,
+    },
+    Blind(Snapshot),
+}
+
+/// What happened when an item was inserted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inserted {
+    /// The stable outcome of the inserted action (None for blind writes).
+    pub outcome: Option<Outcome>,
+    /// Did insertion require a full replay rebuild (out-of-order arrival)?
+    pub rebuilt: bool,
+    /// Was the item discarded as stale (older than the checkpoint)?
+    /// Callers must not propagate ignored items anywhere else either.
+    pub ignored: bool,
+}
+
+/// The positioned item log materializing ζ_CS.
+pub struct ReplayLog<A> {
+    base: WorldState,
+    base_pos: QueuePos,
+    items: BTreeMap<Key, LogItem<A>>,
+    arrivals: u64,
+    cache: WorldState,
+    /// Highest key applied to `cache`; `None` when nothing beyond base.
+    applied_hi: Option<Key>,
+    /// Re-evaluations that produced a different outcome than the original
+    /// (must stay zero under the full protocol; see [`ReplayLog::rebuild`]).
+    divergences: u64,
+    /// Verify the closure property on every rebuild by re-evaluating the
+    /// suffix (costly); off by default — rebuilds then re-apply stored
+    /// outcomes, which the Algorithm 6 contract guarantees identical.
+    verify_rebuilds: bool,
+}
+
+impl<A: Action> ReplayLog<A> {
+    /// A log starting from `initial` as the committed state at position 0.
+    ///
+    /// All replicas bootstrap from the complete initial world (the paper
+    /// does not discuss bootstrap; shipping the initial world with the
+    /// client is how deployed games do it). Incompleteness arises as
+    /// updates flow.
+    pub fn new(initial: WorldState) -> Self {
+        Self {
+            cache: initial.clone(),
+            base: initial,
+            base_pos: 0,
+            items: BTreeMap::new(),
+            arrivals: 0,
+            applied_hi: None,
+            divergences: 0,
+            verify_rebuilds: false,
+        }
+    }
+
+    /// Enable suffix re-evaluation on rebuilds (the closure-property
+    /// verification mode used by tests; costly on long logs).
+    pub fn set_verify_rebuilds(&mut self, on: bool) {
+        self.verify_rebuilds = on;
+    }
+
+    /// The materialized stable state ζ_CS.
+    #[inline]
+    pub fn state(&self) -> &WorldState {
+        &self.cache
+    }
+
+    /// The checkpoint position (everything at or before it is folded into
+    /// the base).
+    #[inline]
+    pub fn base_pos(&self) -> QueuePos {
+        self.base_pos
+    }
+
+    /// Number of items currently held after the checkpoint.
+    #[inline]
+    pub fn log_len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Re-evaluations whose outcome differed from the original evaluation.
+    /// Always zero when the server honours the Algorithm 6 closure
+    /// contract (delivering an action's full support no later than the
+    /// action itself).
+    #[inline]
+    pub fn divergences(&self) -> u64 {
+        self.divergences
+    }
+
+    /// Has an action at `pos` already been inserted?
+    pub fn has_action(&self, pos: QueuePos) -> bool {
+        self.items
+            .range((pos, 0, 0)..(pos, 1, 0))
+            .next()
+            .is_some()
+            || pos <= self.base_pos
+    }
+
+    /// Insert the serialized action at `pos`, evaluating it (and any
+    /// replayed suffix) through `eval`. `eval` receives
+    /// `(pos, &action, state-before, first_time)` and returns the outcome;
+    /// the caller uses it to charge compute and record metrics.
+    pub fn insert_action(
+        &mut self,
+        pos: QueuePos,
+        action: A,
+        mut eval: impl FnMut(QueuePos, &A, &WorldState, bool) -> Outcome,
+    ) -> Inserted {
+        debug_assert!(pos > self.base_pos, "action at or before the checkpoint");
+        debug_assert!(!self.has_action(pos), "duplicate action position");
+        let key: Key = (pos, 0, self.next_arrival());
+        let in_order = self.applied_hi.is_none_or(|hi| key > hi);
+        self.items.insert(
+            key,
+            LogItem::Action {
+                action,
+                outcome: None,
+            },
+        );
+        if in_order {
+            // Fast path: evaluate against the current cache and extend it.
+            let LogItem::Action { action, outcome } =
+                self.items.get_mut(&key).expect("just inserted")
+            else {
+                unreachable!()
+            };
+            let o = eval(pos, action, &self.cache, true);
+            self.cache.apply_writes(&o.writes);
+            *outcome = Some(o.clone());
+            self.applied_hi = Some(key);
+            Inserted {
+                outcome: Some(o),
+                rebuilt: false,
+                ignored: false,
+            }
+        } else {
+            let out = self.rebuild(Some(key), &mut eval);
+            Inserted {
+                outcome: out,
+                rebuilt: true,
+                ignored: false,
+            }
+        }
+    }
+
+    /// Insert a blind write capturing committed state as of `as_of`.
+    pub fn insert_blind(
+        &mut self,
+        as_of: QueuePos,
+        snap: Snapshot,
+        mut eval: impl FnMut(QueuePos, &A, &WorldState, bool) -> Outcome,
+    ) -> Inserted {
+        if as_of < self.base_pos {
+            // Strictly older than our checkpoint: it cannot add anything we
+            // would apply (our base already reflects a later prefix for
+            // every object we know, and objects we do not know cannot be
+            // read before a newer blind supplies them). Ignore.
+            return Inserted {
+                outcome: None,
+                rebuilt: false,
+                ignored: true,
+            };
+        }
+        let key: Key = (as_of, 1, self.next_arrival());
+        let in_order = self.applied_hi.is_none_or(|hi| key > hi);
+        self.items.insert(key, LogItem::Blind(snap));
+        if in_order {
+            let LogItem::Blind(snap) = &self.items[&key] else {
+                unreachable!()
+            };
+            self.cache.apply_snapshot(snap);
+            self.applied_hi = Some(key);
+            Inserted {
+                outcome: None,
+                rebuilt: false,
+                ignored: false,
+            }
+        } else {
+            self.rebuild(None, &mut eval);
+            Inserted {
+                outcome: None,
+                rebuilt: true,
+                ignored: false,
+            }
+        }
+    }
+
+    /// Fold everything at or before `pos` into the checkpoint, using the
+    /// stored outcomes (no re-evaluation). Items the client never received
+    /// simply do not contribute — the checkpoint is the client's *partial*
+    /// view of the committed state.
+    pub fn gc(&mut self, pos: QueuePos) {
+        if pos <= self.base_pos {
+            return;
+        }
+        // Split off the prefix ≤ (pos, blind-phase, any arrival).
+        let keep = self.items.split_off(&(pos + 1, 0, 0));
+        let prefix = std::mem::replace(&mut self.items, keep);
+        for (key, item) in prefix {
+            match item {
+                LogItem::Action { outcome, .. } => {
+                    let o = outcome.unwrap_or_else(|| {
+                        // An action can lack an outcome only if it was
+                        // inserted during a rebuild that never completed —
+                        // impossible by construction.
+                        debug_assert!(false, "GC of an unevaluated action at {key:?}");
+                        Outcome::abort()
+                    });
+                    self.base.apply_writes(&o.writes);
+                }
+                LogItem::Blind(s) => self.base.apply_snapshot(&s),
+            }
+        }
+        self.base_pos = pos;
+        // The cache is unaffected: base ⊕ remaining items is unchanged.
+    }
+
+    fn next_arrival(&mut self) -> u64 {
+        self.arrivals += 1;
+        self.arrivals
+    }
+
+    /// Replay everything from the checkpoint after an out-of-order insert.
+    /// Returns the outcome of the item at `want`, if requested.
+    ///
+    /// Only items without a stored outcome (normally exactly the one just
+    /// inserted) are *evaluated*; everything else re-applies its stored
+    /// writes. That is sound because of the Algorithm 6 closure contract:
+    /// an action that could change an already-evaluated action's inputs
+    /// would have been delivered in that action's closure, so late arrivals
+    /// never alter existing outcomes. `verify_rebuilds` re-evaluates
+    /// everything anyway and counts divergences — the verification mode
+    /// integration tests run to *check* the contract.
+    fn rebuild(
+        &mut self,
+        want: Option<Key>,
+        eval: &mut impl FnMut(QueuePos, &A, &WorldState, bool) -> Outcome,
+    ) -> Option<Outcome> {
+        let mut state = self.base.clone();
+        let mut wanted = None;
+        let mut hi = None;
+        for (key, item) in self.items.iter_mut() {
+            match item {
+                LogItem::Action { action, outcome } => {
+                    let o = match outcome.as_ref() {
+                        Some(prev) if !self.verify_rebuilds => prev.clone(),
+                        prev => {
+                            let first_time = prev.is_none();
+                            let o = eval(key.0, action, &state, first_time);
+                            if let Some(prev) = prev {
+                                // A divergence here means the server sent
+                                // support too late — a closure violation.
+                                if prev != &o {
+                                    self.divergences += 1;
+                                }
+                            }
+                            o
+                        }
+                    };
+                    state.apply_writes(&o.writes);
+                    if Some(*key) == want {
+                        wanted = Some(o.clone());
+                    }
+                    *outcome = Some(o);
+                }
+                LogItem::Blind(s) => state.apply_snapshot(s),
+            }
+            hi = Some(*key);
+        }
+        self.cache = state;
+        self.applied_hi = hi;
+        wanted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seve_world::action::Influence;
+    use seve_world::geometry::Vec2;
+    use seve_world::ids::{ActionId, AttrId, ClientId, ObjectId};
+    use seve_world::objset::ObjectSet;
+    use seve_world::state::WriteLog;
+    use seve_world::value::Value;
+
+    const X: ObjectId = ObjectId(0);
+    const V: AttrId = AttrId(0);
+
+    /// An action that increments object X's counter by `delta` — evaluation
+    /// genuinely depends on the prior state, so replay order is observable.
+    #[derive(Clone, Debug)]
+    struct AddAction {
+        id: ActionId,
+        delta: i64,
+        set: ObjectSet,
+    }
+
+    impl AddAction {
+        fn new(seq: u32, delta: i64) -> Self {
+            Self {
+                id: ActionId::new(ClientId(0), seq),
+                delta,
+                set: ObjectSet::singleton(X),
+            }
+        }
+    }
+
+    impl Action for AddAction {
+        type Env = ();
+        fn id(&self) -> ActionId {
+            self.id
+        }
+        fn read_set(&self) -> &ObjectSet {
+            &self.set
+        }
+        fn write_set(&self) -> &ObjectSet {
+            &self.set
+        }
+        fn influence(&self) -> Influence {
+            Influence::sphere(Vec2::ZERO, 0.0)
+        }
+        fn evaluate(&self, _env: &(), s: &WorldState) -> Outcome {
+            let cur = s.attr(X, V).and_then(|v| v.as_i64()).unwrap_or(0);
+            let mut w = WriteLog::new();
+            w.push(X, V, (cur + self.delta).into());
+            Outcome::ok(w)
+        }
+        fn wire_bytes(&self) -> u32 {
+            8
+        }
+    }
+
+    fn initial() -> WorldState {
+        let mut s = WorldState::new();
+        s.set_attr(X, V, 0i64.into());
+        s
+    }
+
+    fn ev(pos: QueuePos, a: &AddAction, s: &WorldState, _first: bool) -> Outcome {
+        let _ = pos;
+        a.evaluate(&(), s)
+    }
+
+    fn x_of(s: &WorldState) -> i64 {
+        s.attr(X, V).unwrap().as_i64().unwrap()
+    }
+
+    #[test]
+    fn in_order_inserts_extend_incrementally() {
+        let mut log = ReplayLog::new(initial());
+        let r1 = log.insert_action(1, AddAction::new(0, 5), ev);
+        assert!(!r1.rebuilt);
+        assert_eq!(x_of(log.state()), 5);
+        let r2 = log.insert_action(2, AddAction::new(1, 3), ev);
+        assert!(!r2.rebuilt);
+        assert_eq!(x_of(log.state()), 8);
+        assert_eq!(log.log_len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_insert_rebuilds_in_position_order() {
+        let mut log = ReplayLog::new(initial());
+        log.set_verify_rebuilds(true);
+        log.insert_action(3, AddAction::new(1, 10), ev);
+        assert_eq!(x_of(log.state()), 10);
+        // Older action arrives late: value must reflect position order
+        // (1 then 3), not arrival order.
+        let r = log.insert_action(1, AddAction::new(0, 1), ev);
+        assert!(r.rebuilt);
+        assert_eq!(x_of(log.state()), 11);
+        assert_eq!(r.outcome.unwrap().writes.len(), 1);
+    }
+
+    #[test]
+    fn blind_write_applies_at_its_position() {
+        let mut log = ReplayLog::new(initial());
+        log.set_verify_rebuilds(true);
+        log.insert_action(2, AddAction::new(0, 7), ev);
+        // Blind as_of 1 arrives late: it must apply *before* action 2 in
+        // replay order. Snapshot sets X to 100, so the final X = 107.
+        let mut snap = Snapshot::new();
+        let mut obj = seve_world::WorldObject::new();
+        obj.set(V, Value::I64(100));
+        snap.push(X, obj);
+        let r = log.insert_blind(1, snap, ev);
+        assert!(r.rebuilt);
+        assert_eq!(x_of(log.state()), 107);
+    }
+
+    #[test]
+    fn blind_older_than_checkpoint_is_ignored() {
+        let mut log = ReplayLog::new(initial());
+        log.insert_action(1, AddAction::new(0, 5), ev);
+        log.gc(1);
+        let mut snap = Snapshot::new();
+        let mut obj = seve_world::WorldObject::new();
+        obj.set(V, Value::I64(999));
+        snap.push(X, obj);
+        let r = log.insert_blind(0, snap, ev);
+        assert!(!r.rebuilt);
+        assert_eq!(x_of(log.state()), 5, "stale blind discarded");
+    }
+
+    #[test]
+    fn gc_folds_prefix_without_reevaluation() {
+        let mut log = ReplayLog::new(initial());
+        let evals = std::cell::Cell::new(0usize);
+        let counting = |p: QueuePos, a: &AddAction, s: &WorldState, f: bool| {
+            evals.set(evals.get() + 1);
+            ev(p, a, s, f)
+        };
+        log.insert_action(1, AddAction::new(0, 1), counting);
+        log.insert_action(2, AddAction::new(1, 2), counting);
+        log.insert_action(3, AddAction::new(2, 4), counting);
+        assert_eq!(evals.get(), 3);
+        log.gc(2);
+        assert_eq!(evals.get(), 3, "gc performed no evaluations");
+        assert_eq!(log.base_pos(), 2);
+        assert_eq!(log.log_len(), 1);
+        assert_eq!(x_of(log.state()), 7, "cache unchanged by gc");
+        // Later out-of-order-free insert still works on the new base.
+        log.insert_action(4, AddAction::new(3, 8), counting);
+        assert_eq!(x_of(log.state()), 15);
+    }
+
+    #[test]
+    fn rebuild_after_gc_replays_only_the_suffix() {
+        let mut log = ReplayLog::new(initial());
+        log.set_verify_rebuilds(true);
+        log.insert_action(1, AddAction::new(0, 1), ev);
+        log.insert_action(2, AddAction::new(1, 2), ev);
+        log.gc(2);
+        log.insert_action(5, AddAction::new(2, 16), ev);
+        // pos 4 arrives late → rebuild from base (X = 3).
+        let mut evals = Vec::new();
+        log.insert_action(4, AddAction::new(3, 8), |p, a, s, f| {
+            evals.push((p, f));
+            ev(p, a, s, f)
+        });
+        assert_eq!(x_of(log.state()), 27);
+        // Rebuild evaluated 4 (first time) and 5 (again).
+        assert_eq!(evals, vec![(4, true), (5, false)]);
+    }
+
+    #[test]
+    fn has_action_reports_positions() {
+        let mut log = ReplayLog::new(initial());
+        log.insert_action(2, AddAction::new(0, 1), ev);
+        assert!(log.has_action(2));
+        assert!(!log.has_action(1));
+        log.gc(2);
+        assert!(log.has_action(2), "folded positions count as present");
+        assert!(log.has_action(1), "positions before the checkpoint too");
+    }
+}

@@ -1,0 +1,249 @@
+//! The basic action protocol server — Algorithm 2.
+//!
+//! "The server maintains a global queue of actions. For each client C, the
+//! server maintains the index pos_C of the action in the queue that was
+//! last sent to C. ... (a) it timestamps a and puts it into the queue ...
+//! (b) the server returns to C all actions between positions pos_C and
+//! pos(a), and it sets pos_C = pos(a)."
+//!
+//! Every client eventually executes every action — strong consistency with
+//! one-round-trip response, but "very limited scalability" (Section III-A):
+//! the per-client compute grows linearly with the total action rate, which
+//! is what Figure 6's Broadcast-like collapse shows.
+
+use crate::config::ProtocolConfig;
+use crate::engine::ServerNode;
+use crate::metrics::ServerMetrics;
+use crate::msg::{Item, ToClient, ToServer};
+use crate::server::common::ServerBase;
+use seve_net::time::{SimDuration, SimTime};
+use seve_world::ids::{ClientId, QueuePos};
+use seve_world::state::WorldState;
+use seve_world::GameWorld;
+use std::sync::Arc;
+
+/// The Algorithm 2 server.
+pub struct BasicServer<W: GameWorld> {
+    base: ServerBase<W>,
+    /// `pos_C` per client.
+    pos_c: Vec<QueuePos>,
+}
+
+impl<W: GameWorld> BasicServer<W> {
+    /// Build the server.
+    pub fn new(world: Arc<W>, cfg: ProtocolConfig) -> Self {
+        let n = world.num_clients();
+        Self {
+            base: ServerBase::new(world, cfg),
+            pos_c: vec![0; n],
+        }
+    }
+
+    /// Drop queue entries already delivered to every client — the basic
+    /// protocol has no commit machinery, so "delivered everywhere" is the
+    /// retention bound.
+    fn trim_delivered(&mut self) {
+        let min_pos = self.pos_c.iter().copied().min().unwrap_or(0);
+        while let Some(front) = self.base.queue.front() {
+            if front.pos <= min_pos {
+                self.base.queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<W: GameWorld> ServerNode<W> for BasicServer<W> {
+    type Up = ToServer<W::Action>;
+    type Down = ToClient<W::Action>;
+
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        from: ClientId,
+        msg: Self::Up,
+        out: &mut Vec<(ClientId, Self::Down)>,
+    ) -> u64 {
+        match msg {
+            ToServer::Submit { action } => {
+                let pos = self.base.enqueue(now, action);
+                let lo = self.pos_c[from.index()] + 1;
+                let mut items = Vec::with_capacity((pos - lo + 1) as usize);
+                for p in lo..=pos {
+                    let e = self
+                        .base
+                        .queue
+                        .get(p)
+                        .expect("undelivered entries are retained");
+                    items.push(Item::action(p, e.action.clone()));
+                }
+                self.pos_c[from.index()] = pos;
+                let n_items = items.len();
+                self.base.metrics.batch_items.record(n_items as f64);
+                out.push((from, ToClient::Batch { items }));
+                self.trim_delivered();
+                let cost = self.base.cfg.msg_cost_us + self.base.scan_cost(n_items);
+                self.base.metrics.compute_us += cost;
+                cost
+            }
+            ToServer::Completion { .. } => {
+                debug_assert!(false, "basic-mode clients do not send completions");
+                0
+            }
+        }
+    }
+
+    fn tick(&mut self, _now: SimTime, out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        // Catch-up flush: Algorithm 2 as written only delivers to a client
+        // when it submits, so a client that stops submitting never learns
+        // the tail of the queue. The paper's clients submit continuously,
+        // making the distinction invisible; we flush undelivered actions on
+        // the server tick so replicas also converge at quiescence.
+        let Some(last) = self.base.queue.last_pos() else {
+            return 0;
+        };
+        let mut cost = 0;
+        for i in 0..self.pos_c.len() {
+            if self.pos_c[i] >= last {
+                continue;
+            }
+            let lo = self.pos_c[i] + 1;
+            let mut items = Vec::with_capacity((last - lo + 1) as usize);
+            for p in lo..=last {
+                if let Some(e) = self.base.queue.get(p) {
+                    items.push(Item::action(p, e.action.clone()));
+                }
+            }
+            self.pos_c[i] = last;
+            if !items.is_empty() {
+                cost += self.base.cfg.msg_cost_us + self.base.scan_cost(items.len());
+                out.push((ClientId(i as u16), ToClient::Batch { items }));
+            }
+        }
+        self.trim_delivered();
+        self.base.metrics.compute_us += cost;
+        cost
+    }
+
+    fn push_tick(&mut self, _now: SimTime, _out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        0
+    }
+
+    fn push_period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn metrics_mut(&mut self) -> &mut ServerMetrics {
+        &mut self.base.metrics
+    }
+
+    fn metrics(&self) -> &ServerMetrics {
+        &self.base.metrics
+    }
+
+    fn committed(&self) -> Option<&WorldState> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerMode;
+    use seve_world::worlds::dining::{DiningConfig, DiningWorld};
+
+    fn setup() -> BasicServer<DiningWorld> {
+        let world = Arc::new(DiningWorld::new(DiningConfig {
+            philosophers: 4,
+            ..DiningConfig::default()
+        }));
+        BasicServer::new(world, ProtocolConfig::with_mode(ServerMode::Basic))
+    }
+
+    #[test]
+    fn reply_covers_gap_since_last_submission() {
+        let world = Arc::new(DiningWorld::new(DiningConfig {
+            philosophers: 4,
+            ..DiningConfig::default()
+        }));
+        let mut s = BasicServer::new(
+            Arc::clone(&world),
+            ProtocolConfig::with_mode(ServerMode::Basic),
+        );
+        let mut out = Vec::new();
+        // c0 submits: gets [1..=1].
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit {
+                action: world.grab(ClientId(0), 0),
+            },
+            &mut out,
+        );
+        // c1 submits: gets [1..=2].
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(1),
+            ToServer::Submit {
+                action: world.grab(ClientId(1), 0),
+            },
+            &mut out,
+        );
+        // c0 submits again: gets [2..=3] only.
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit {
+                action: world.grab(ClientId(0), 1),
+            },
+            &mut out,
+        );
+        let sizes: Vec<usize> = out
+            .iter()
+            .map(|(_, m)| match m {
+                ToClient::Batch { items } => items.len(),
+                _ => panic!("unexpected message"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![1, 2, 2]);
+        assert_eq!(out[0].0, ClientId(0));
+        assert_eq!(out[1].0, ClientId(1));
+        assert_eq!(out[2].0, ClientId(0));
+    }
+
+    #[test]
+    fn entries_are_trimmed_once_everyone_has_them() {
+        let world = Arc::new(DiningWorld::new(DiningConfig {
+            philosophers: 2,
+            ..DiningConfig::default()
+        }));
+        let mut s = BasicServer::new(
+            Arc::clone(&world),
+            ProtocolConfig::with_mode(ServerMode::Basic),
+        );
+        let mut out = Vec::new();
+        for round in 0..3u32 {
+            for c in 0..2u16 {
+                s.deliver(
+                    SimTime::ZERO,
+                    ClientId(c),
+                    ToServer::Submit {
+                        action: world.grab(ClientId(c), round),
+                    },
+                    &mut out,
+                );
+            }
+        }
+        // After both clients have submitted, everything up to the
+        // second-to-last round is delivered to both and trimmed.
+        assert!(s.base.queue.len() <= 2, "queue length {}", s.base.queue.len());
+    }
+
+    #[test]
+    fn no_push_period() {
+        let s = setup();
+        assert!(s.push_period().is_none());
+        assert!(s.committed().is_none());
+    }
+}

@@ -1,0 +1,483 @@
+//! The First Bound / Information Bound server — Sections III-D, III-E,
+//! Algorithm 7. This is the SEVE server of the evaluation.
+//!
+//! Instead of replying per submission, the server *pushes* every ω·RTT to
+//! each client all new actions that could affect that client's future
+//! actions (the Eq. 1 / Eq. 2 sphere test), together with their unsent
+//! transitive support and a blind write for the committed residue — so the
+//! client can evaluate during what would otherwise be idle time, and the
+//! response for any action arrives within (1+ω)·RTT.
+//!
+//! With dropping enabled (the Information Bound Model), a per-tick analysis
+//! (Algorithm 7) walks each newly submitted action's conflict chain and
+//! drops actions whose chain reaches farther than `threshold`; surviving
+//! chains are guaranteed local, which is what bounds the pushed sets
+//! (Eq. 2). With dropping disabled (the First Bound Model) the transitive
+//! support is unbounded — the Figure 8 "naive SEVE" that bogs down in
+//! dense crowds.
+
+use crate::bounds::BoundParams;
+use crate::closure::{analyze_new_actions, closure_for};
+use crate::config::ProtocolConfig;
+use crate::engine::ServerNode;
+use crate::metrics::ServerMetrics;
+use crate::msg::{ToClient, ToServer};
+use crate::server::common::ServerBase;
+use seve_net::time::{SimDuration, SimTime};
+use seve_world::geometry::Vec2;
+use seve_world::ids::{ClientId, QueuePos};
+use seve_world::semantics::InterestMask;
+use seve_world::state::WorldState;
+use seve_world::{Action, GameWorld};
+use std::sync::Arc;
+
+/// The First/Information Bound server.
+pub struct BoundedServer<W: GameWorld> {
+    base: ServerBase<W>,
+    /// `p̄_C` — last known position of each client's sphere of influence,
+    /// updated from the influence center of each submission.
+    client_pos: Vec<Vec2>,
+    /// Interest subscriptions (Section IV-A); `ALL` when filtering is off.
+    interests: Vec<InterestMask>,
+    /// Per client: every position at or below this has been considered for
+    /// pushing to that client.
+    last_push_pos: Vec<QueuePos>,
+    /// Every position at or below this has passed Algorithm 7 analysis.
+    analyzed_upto: QueuePos,
+    dropping: bool,
+    params: BoundParams,
+}
+
+impl<W: GameWorld> BoundedServer<W> {
+    /// Build the server.
+    pub fn new(world: Arc<W>, cfg: ProtocolConfig) -> Self {
+        let n = world.num_clients();
+        let sem = world.semantics();
+        let initial = world.initial_state();
+        let center_fallback = Vec2::new(
+            (sem.bounds.min.x + sem.bounds.max.x) * 0.5,
+            (sem.bounds.min.y + sem.bounds.max.y) * 0.5,
+        );
+        let client_pos = (0..n)
+            .map(|i| {
+                let c = ClientId(i as u16);
+                world
+                    .position_in(&initial, world.avatar_object(c))
+                    .unwrap_or(center_fallback)
+            })
+            .collect();
+        let interests = (0..n)
+            .map(|i| {
+                if cfg.interest_filtering {
+                    world.client_interests(ClientId(i as u16))
+                } else {
+                    InterestMask::ALL
+                }
+            })
+            .collect();
+        let dropping = cfg.mode.drops();
+        let params = BoundParams {
+            max_speed: sem.max_speed,
+            window_secs: cfg.rtt.as_secs_f64() * (1.0 + cfg.omega),
+            client_radius: sem.client_radius,
+            // Candidates are selected by the Eq. 1 sphere in both modes;
+            // the transitive support added by the closure is what Eq. 2
+            // bounds (candidate distance + at most `threshold` of chain)
+            // when dropping is on — the bound is emergent, not a wider
+            // candidate filter.
+            extra: 0.0,
+            velocity_culling: cfg.velocity_culling,
+        };
+        Self {
+            base: ServerBase::new(world, cfg),
+            client_pos,
+            interests,
+            last_push_pos: vec![0; n],
+            analyzed_upto: 0,
+            dropping,
+            params,
+        }
+    }
+
+    /// Test access to the authoritative state.
+    pub fn zeta_s(&self) -> &WorldState {
+        &self.base.zeta_s
+    }
+
+    /// Test access to the last installed position.
+    pub fn last_committed(&self) -> u64 {
+        self.base.last_committed
+    }
+
+    /// The highest position eligible for pushing: with dropping on, only
+    /// analysis-cleared actions may be pushed (an action pushed before its
+    /// Algorithm 7 verdict could later be dropped — but it would already
+    /// have been applied by some replicas).
+    fn push_horizon(&self) -> QueuePos {
+        if self.dropping {
+            self.analyzed_upto
+        } else {
+            self.base.queue.last_pos().unwrap_or(0)
+        }
+    }
+}
+
+impl<W: GameWorld> ServerNode<W> for BoundedServer<W> {
+    type Up = ToServer<W::Action>;
+    type Down = ToClient<W::Action>;
+
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        from: ClientId,
+        msg: Self::Up,
+        out: &mut Vec<(ClientId, Self::Down)>,
+    ) -> u64 {
+        match msg {
+            ToServer::Submit { action } => {
+                self.client_pos[from.index()] = action.influence().center;
+                self.base.enqueue(now, action);
+                let cost = self.base.cfg.msg_cost_us;
+                self.base.metrics.compute_us += cost;
+                cost
+            }
+            ToServer::Completion {
+                pos,
+                id: _,
+                writes,
+                aborted,
+            } => {
+                if std::env::var("SEVE_DEBUG_OWN").is_ok() {
+                    eprintln!("COMPL from {:?} pos {}", from, pos);
+                }
+                self.base.on_completion(pos, writes, aborted);
+                self.base.maybe_gc_notice(out);
+                let cost = self.base.cfg.msg_cost_us;
+                self.base.metrics.compute_us += cost;
+                cost
+            }
+        }
+    }
+
+    fn tick(&mut self, _now: SimTime, out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        if !self.dropping {
+            return 0;
+        }
+        if std::env::var("SEVE_DEBUG_QUEUE").is_ok() && self.base.queue.len() > 200 {
+            if let Some(f) = self.base.queue.front() {
+                eprintln!(
+                    "STUCK front pos {} issuer {:?} completed {} dropped {} sent_n {} qlen {}",
+                    f.pos, f.action.issuer(), f.completion.is_some(), f.dropped,
+                    f.sent.len(), self.base.queue.len()
+                );
+            }
+        }
+        // Algorithm 7's onNextTick over actions submitted since last tick.
+        let from = (self.analyzed_upto + 1).max(self.base.queue.first_pos());
+        let analysis =
+            analyze_new_actions(&mut self.base.queue, from, self.base.cfg.threshold);
+        for &len in &analysis.chain_lens {
+            self.base.metrics.chain_len.record(len as f64);
+        }
+        for &pos in &analysis.dropped {
+            self.base.metrics.drops += 1;
+            let e = self.base.queue.get(pos).expect("just analyzed");
+            out.push((
+                e.action.issuer(),
+                ToClient::Dropped {
+                    id: e.action.id(),
+                    pos,
+                },
+            ));
+        }
+        if !analysis.dropped.is_empty() {
+            // A newly dropped front entry commits as a no-op.
+            self.base.try_install();
+            self.base.maybe_gc_notice(out);
+        }
+        self.analyzed_upto = self.base.queue.last_pos().unwrap_or(self.analyzed_upto);
+        let cost = self.base.scan_cost(analysis.scanned);
+        self.base.metrics.compute_us += cost;
+        cost
+    }
+
+    fn push_tick(&mut self, now: SimTime, out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        let horizon = self.push_horizon();
+        let n = self.base.num_clients();
+        let mut cost = 0u64;
+        let mut candidates: Vec<QueuePos> = Vec::new();
+        for i in 0..n {
+            let client = ClientId(i as u16);
+            candidates.clear();
+            let lo = self.last_push_pos[i] + 1;
+            for pos in lo..=horizon {
+                let Some(e) = self.base.queue.get(pos) else {
+                    continue; // already committed: values flow via blinds
+                };
+                if e.dropped || e.sent.contains(client) {
+                    continue;
+                }
+                let own = e.action.issuer() == client;
+                if !own {
+                    if !self.interests[i].contains(e.influence.class) {
+                        continue;
+                    }
+                    let near = match self.base.cfg.interest_radius_override {
+                        Some(r) => e.influence.center.dist(self.client_pos[i]) <= r,
+                        None => {
+                            let age = (now - e.submit_time).as_secs_f64();
+                            self.params.may_affect(&e.influence, age, self.client_pos[i])
+                        }
+                    };
+                    if !near {
+                        continue;
+                    }
+                }
+                candidates.push(pos);
+            }
+            self.last_push_pos[i] = horizon.max(self.last_push_pos[i]);
+            if candidates.is_empty() {
+                continue;
+            }
+            if std::env::var("SEVE_DEBUG_C38").is_ok()
+                && client.0 == 38
+                && candidates.iter().any(|&p| (3000..3200).contains(&p))
+            {
+                eprintln!(
+                    "SRV push c38 candidates {:?} first_pos {} last {:?} e3069_present {} e3069_sent38 {}",
+                    candidates,
+                    self.base.queue.first_pos(),
+                    self.base.queue.last_pos(),
+                    self.base.queue.get(3069).is_some(),
+                    self.base.queue.get(3069).map(|e| e.sent.contains(client)).unwrap_or(false),
+                );
+            }
+            let result = closure_for(&mut self.base.queue, client, &candidates);
+            if std::env::var("SEVE_DEBUG_C38").is_ok()
+                && client.0 == 38
+                && result.send.iter().any(|&p| (3000..3200).contains(&p))
+            {
+                eprintln!("SRV send c38 {:?} blind {:?}", result.send, result.blind_set);
+            }
+            self.base
+                .metrics
+                .closure_scan_entries
+                .record(result.scanned as f64);
+            let items = self.base.batch_items(client, &result.send, &result.blind_set);
+            self.base.metrics.batch_items.record(items.len() as f64);
+            cost += self.base.cfg.msg_cost_us + self.base.scan_cost(result.scanned);
+            out.push((client, ToClient::Batch { items }));
+        }
+        self.base.metrics.compute_us += cost;
+        cost
+    }
+
+    fn push_period(&self) -> Option<SimDuration> {
+        Some(self.base.cfg.push_period())
+    }
+
+    fn metrics_mut(&mut self) -> &mut ServerMetrics {
+        &mut self.base.metrics
+    }
+
+    fn metrics(&self) -> &ServerMetrics {
+        &self.base.metrics
+    }
+
+    fn committed(&self) -> Option<&WorldState> {
+        Some(&self.base.zeta_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerMode;
+    use crate::msg::Payload;
+    use seve_world::worlds::dining::{DiningConfig, DiningWorld};
+
+    type A = <DiningWorld as GameWorld>::Action;
+
+    fn setup(n: usize, mode: ServerMode) -> (Arc<DiningWorld>, BoundedServer<DiningWorld>) {
+        let world = Arc::new(DiningWorld::new(DiningConfig {
+            philosophers: n,
+            ..DiningConfig::default()
+        }));
+        let server = BoundedServer::new(Arc::clone(&world), ProtocolConfig::with_mode(mode));
+        (world, server)
+    }
+
+    fn push_all_grabs(
+        world: &Arc<DiningWorld>,
+        s: &mut BoundedServer<DiningWorld>,
+        out: &mut Vec<(ClientId, ToClient<A>)>,
+    ) {
+        for c in 0..world.num_clients() as u16 {
+            s.deliver(
+                SimTime::ZERO,
+                ClientId(c),
+                ToServer::Submit {
+                    action: world.grab(ClientId(c), 0),
+                },
+                out,
+            );
+        }
+    }
+
+    fn batch_action_positions(msg: &ToClient<A>) -> Vec<QueuePos> {
+        match msg {
+            ToClient::Batch { items } => items
+                .iter()
+                .filter(|i| matches!(i.payload, Payload::Action(_)))
+                .map(|i| i.pos)
+                .collect(),
+            _ => vec![],
+        }
+    }
+
+    #[test]
+    fn submissions_get_no_immediate_reply() {
+        let (world, mut s) = setup(4, ServerMode::FirstBound);
+        let mut out = Vec::new();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit {
+                action: world.grab(ClientId(0), 0),
+            },
+            &mut out,
+        );
+        assert!(out.is_empty(), "bounded mode replies only on push cycles");
+    }
+
+    #[test]
+    fn first_bound_pushes_everything_in_the_ring() {
+        // Simultaneous grabs around the whole ring: without dropping, the
+        // transitive closure hauls the entire ring to every client
+        // (Section III-E).
+        let (world, mut s) = setup(8, ServerMode::FirstBound);
+        let mut out = Vec::new();
+        push_all_grabs(&world, &mut s, &mut out);
+        assert!(out.is_empty());
+        s.push_tick(SimTime::from_ms(60), &mut out);
+        // Every client gets a batch; a client whose newest candidate is
+        // the last grab receives the *entire* ring as backward transitive
+        // support — the unbounded-closure behaviour of Section III-E.
+        assert_eq!(out.len(), 8);
+        let sizes: Vec<usize> = out
+            .iter()
+            .map(|(_, m)| batch_action_positions(m).len())
+            .collect();
+        assert_eq!(sizes.iter().max(), Some(&8), "some client hauls the whole ring");
+        let total: usize = sizes.iter().sum();
+        assert!(
+            total > 8 * 4,
+            "closure support inflates pushes well beyond direct candidates: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn info_bound_drops_chain_breakers_and_pushes_local_arcs() {
+        // Same scenario, dropping on: the ring of 64 spaced 10 apart with
+        // threshold 45 must break into arcs and every client receives far
+        // fewer than 64 actions.
+        let world = Arc::new(DiningWorld::new(DiningConfig {
+            philosophers: 64,
+            spacing: 10.0,
+            ..DiningConfig::default()
+        }));
+        let mut cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+        cfg.threshold = 45.0;
+        let mut s = BoundedServer::new(Arc::clone(&world), cfg);
+        let mut out = Vec::new();
+        push_all_grabs(&world, &mut s, &mut out);
+        // Analysis tick: some grabs must drop.
+        s.tick(SimTime::from_ms(50), &mut out);
+        let drops = out
+            .iter()
+            .filter(|(_, m)| matches!(m, ToClient::Dropped { .. }))
+            .count();
+        assert!(drops > 0, "chains around the ring must break");
+        assert!(drops < 32, "but only a few drops are needed, got {drops}");
+        out.clear();
+        s.push_tick(SimTime::from_ms(60), &mut out);
+        let max_batch = out
+            .iter()
+            .map(|(_, m)| batch_action_positions(m).len())
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_batch < 20,
+            "chain breaking must localize pushes, got a batch of {max_batch}"
+        );
+    }
+
+    #[test]
+    fn clients_always_receive_their_own_actions() {
+        let (world, mut s) = setup(16, ServerMode::InfoBound);
+        let mut out = Vec::new();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(5),
+            ToServer::Submit {
+                action: world.grab(ClientId(5), 0),
+            },
+            &mut out,
+        );
+        s.tick(SimTime::from_ms(50), &mut out);
+        s.push_tick(SimTime::from_ms(60), &mut out);
+        let mine: Vec<_> = out
+            .iter()
+            .filter(|(c, m)| *c == ClientId(5) && matches!(m, ToClient::Batch { .. }))
+            .collect();
+        assert_eq!(mine.len(), 1);
+    }
+
+    #[test]
+    fn far_clients_are_not_pushed_unrelated_actions() {
+        // 64 philosophers, ring circumference 640: opposite sides are far
+        // beyond the Eq. 2 sphere for dining parameters.
+        let (world, mut s) = setup(64, ServerMode::InfoBound);
+        let mut out = Vec::new();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit {
+                action: world.grab(ClientId(0), 0),
+            },
+            &mut out,
+        );
+        s.tick(SimTime::from_ms(50), &mut out);
+        s.push_tick(SimTime::from_ms(60), &mut out);
+        // Client 32 (opposite side) must receive nothing.
+        assert!(
+            !out.iter().any(|(c, _)| *c == ClientId(32)),
+            "far client received an irrelevant action"
+        );
+        // Client 1 (adjacent, conflicting forks) must receive it.
+        assert!(out.iter().any(|(c, _)| *c == ClientId(1)));
+    }
+
+    #[test]
+    fn unanalyzed_actions_are_not_pushed_when_dropping() {
+        let (world, mut s) = setup(4, ServerMode::InfoBound);
+        let mut out = Vec::new();
+        push_all_grabs(&world, &mut s, &mut out);
+        // Push before any analysis tick: nothing may go out.
+        s.push_tick(SimTime::from_ms(1), &mut out);
+        assert!(out.is_empty());
+        s.tick(SimTime::from_ms(50), &mut out);
+        out.clear();
+        s.push_tick(SimTime::from_ms(60), &mut out);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn push_period_comes_from_omega() {
+        let (_, s) = setup(4, ServerMode::InfoBound);
+        assert_eq!(
+            s.push_period().unwrap().as_micros(),
+            ProtocolConfig::default().push_period().as_micros()
+        );
+    }
+}

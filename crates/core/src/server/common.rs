@@ -1,0 +1,220 @@
+//! State shared by every action-protocol server: the serialization queue,
+//! the authoritative state ζ_S, the in-order install loop (Algorithm 5
+//! step 5), and garbage-collection notices.
+
+use crate::closure::ActionQueue;
+use crate::config::ProtocolConfig;
+use crate::metrics::ServerMetrics;
+use crate::msg::{Item, ToClient};
+use seve_net::time::SimTime;
+use seve_world::action::Outcome;
+use seve_world::ids::{ClientId, QueuePos};
+use seve_world::objset::ObjectSet;
+use seve_world::ids::ObjectId;
+use seve_world::state::{WorldState, WriteLog};
+use seve_world::GameWorld;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The server-side core shared by the Incomplete / First Bound /
+/// Information Bound servers (the Basic server uses only the queue).
+pub struct ServerBase<W: GameWorld> {
+    /// The world definition (for semantics and positions).
+    pub world: Arc<W>,
+    /// The protocol configuration.
+    pub cfg: ProtocolConfig,
+    /// ζ_S — the authoritative committed state (Algorithm 5 step 1).
+    pub zeta_s: WorldState,
+    /// The last position installed into ζ_S.
+    pub last_committed: QueuePos,
+    /// The queue of uncommitted actions.
+    pub queue: ActionQueue<W::Action>,
+    /// Metrics sink.
+    pub metrics: ServerMetrics,
+    /// The last position for which a GC notice was broadcast.
+    last_gc_sent: QueuePos,
+    /// Position of the last *installed* writer of each object — the
+    /// committed version used to suppress redundant blind writes.
+    committed_version: HashMap<ObjectId, QueuePos>,
+    /// Per client: the newest writer position (action sent or blind write)
+    /// whose value for an object the client is known to hold. Lets the
+    /// server skip blind writes for values the client already has.
+    client_known: Vec<HashMap<ObjectId, QueuePos>>,
+}
+
+impl<W: GameWorld> ServerBase<W> {
+    /// A fresh base over `world`.
+    pub fn new(world: Arc<W>, cfg: ProtocolConfig) -> Self {
+        let n = world.num_clients();
+        Self {
+            zeta_s: world.initial_state(),
+            last_committed: 0,
+            queue: ActionQueue::new(),
+            metrics: ServerMetrics::default(),
+            last_gc_sent: 0,
+            committed_version: HashMap::new(),
+            client_known: vec![HashMap::new(); n],
+            world,
+            cfg,
+        }
+    }
+
+    /// Number of participating clients.
+    pub fn num_clients(&self) -> usize {
+        self.world.num_clients()
+    }
+
+    /// Timestamp and enqueue a submission (Algorithm 2 step a), returning
+    /// its position.
+    pub fn enqueue(&mut self, now: SimTime, action: W::Action) -> QueuePos {
+        self.metrics.submissions += 1;
+        let pos = self.queue.push(action, now);
+        self.metrics.max_queue_len = self.metrics.max_queue_len.max(self.queue.len());
+        pos
+    }
+
+    /// Record a completion for `pos` (Algorithm 5 step 5): hold it until
+    /// ζ_S(pos − 1) is available, then install in order. Dropped entries
+    /// commit as no-ops when reached. Returns whether `last_committed`
+    /// advanced.
+    pub fn on_completion(&mut self, pos: QueuePos, writes: WriteLog, aborted: bool) -> bool {
+        let Some(entry) = self.queue.get_mut(pos) else {
+            // Already installed (redundant completion after commit): fine.
+            return false;
+        };
+        let outcome = if aborted {
+            Outcome::abort()
+        } else {
+            Outcome::ok(writes)
+        };
+        if let Some(existing) = &entry.completion {
+            // Redundant completions must agree — every replica computes the
+            // same stable result (Theorem 1).
+            debug_assert_eq!(
+                existing.digest(),
+                outcome.digest(),
+                "conflicting completions for pos {pos}"
+            );
+            return false;
+        }
+        entry.completion = Some(outcome);
+        self.install_ready()
+    }
+
+    /// Re-run the install loop (e.g. after a front entry was dropped by
+    /// Algorithm 7 and now commits as a no-op).
+    pub fn try_install(&mut self) -> bool {
+        self.install_ready()
+    }
+
+    /// Install every ready prefix entry into ζ_S.
+    fn install_ready(&mut self) -> bool {
+        let mut advanced = false;
+        while let Some(front) = self.queue.front() {
+            if front.dropped {
+                // Dropped actions are no-ops: commit and discard.
+                let e = self.queue.pop_front().expect("front exists");
+                self.last_committed = e.pos;
+                advanced = true;
+                continue;
+            }
+            if front.completion.is_some() {
+                let e = self.queue.pop_front().expect("front exists");
+                let outcome = e.completion.expect("checked above");
+                if !outcome.aborted {
+                    self.zeta_s.apply_writes(&outcome.writes);
+                    for o in outcome.writes.touched_objects().iter() {
+                        self.committed_version.insert(o, e.pos);
+                    }
+                }
+                self.last_committed = e.pos;
+                self.metrics.installed += 1;
+                advanced = true;
+                continue;
+            }
+            break;
+        }
+        advanced
+    }
+
+    /// If enough installs have accumulated, broadcast a GC notice letting
+    /// clients trim their replay logs (Section III-C memory optimization).
+    pub fn maybe_gc_notice(&mut self, out: &mut Vec<(ClientId, ToClient<W::Action>)>) {
+        if self.last_committed >= self.last_gc_sent + self.cfg.gc_every {
+            self.last_gc_sent = self.last_committed;
+            for i in 0..self.num_clients() {
+                out.push((
+                    ClientId(i as u16),
+                    ToClient::GcUpTo {
+                        pos: self.last_committed,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Build the blind-write item `W(S, ζ_S(S))` for a residual read set,
+    /// filtered against what `client` is already known to hold — shipping
+    /// an object whose committed value the client has (or holds a newer
+    /// uncommitted value for) is pure overhead. Returns `None` when nothing
+    /// remains to supply.
+    pub fn blind_item_for(
+        &mut self,
+        client: ClientId,
+        set: &ObjectSet,
+    ) -> Option<Item<W::Action>> {
+        if set.is_empty() {
+            return None;
+        }
+        let known = &mut self.client_known[client.index()];
+        let mut snap = seve_world::state::Snapshot::new();
+        for o in set.iter() {
+            let committed = self.committed_version.get(&o).copied().unwrap_or(0);
+            let held = known.get(&o).copied();
+            // `held = None` means the client holds the initial value
+            // (version 0), which every replica bootstraps with.
+            if held.unwrap_or(0) >= committed {
+                continue;
+            }
+            if let Some(obj) = self.zeta_s.get(o) {
+                snap.push(o, obj.clone());
+                known.insert(o, committed);
+            }
+        }
+        if snap.is_empty() {
+            return None;
+        }
+        Some(Item::blind(self.last_committed, snap))
+    }
+
+    /// Build the batch items for positions `send` (ascending), prefixed by
+    /// the (version-filtered) blind write for `blind_set`, updating the
+    /// per-client known-version table.
+    pub fn batch_items(
+        &mut self,
+        client: ClientId,
+        send: &[QueuePos],
+        blind_set: &ObjectSet,
+    ) -> Vec<Item<W::Action>> {
+        let mut items = Vec::with_capacity(send.len() + 1);
+        if let Some(blind) = self.blind_item_for(client, blind_set) {
+            items.push(blind);
+        }
+        for &pos in send {
+            let e = self.queue.get(pos).expect("sent positions are queued");
+            // The client will apply this action's writes at `pos`.
+            let known = &mut self.client_known[client.index()];
+            for o in e.ws.iter() {
+                let entry = known.entry(o).or_insert(0);
+                *entry = (*entry).max(pos);
+            }
+            items.push(Item::action(pos, e.action.clone()));
+        }
+        items
+    }
+
+    /// Charge the scan-cost model for `entries` queue entries examined.
+    pub fn scan_cost(&self, entries: usize) -> u64 {
+        (self.cfg.scan_cost_us_per_entry * entries as f64) as u64
+    }
+}

@@ -1,0 +1,352 @@
+//! The Incomplete World Model server — Algorithms 5 and 6.
+//!
+//! On every submission the server computes, per client, the transitive
+//! closure of conflicting uncommitted actions (Algorithm 6) and replies
+//! with exactly those plus a blind write `W(S, ζ_S(S))` for the residual
+//! read support. Completion messages from clients install values into the
+//! authoritative state ζ_S in queue order (Algorithm 5 step 5) — the
+//! server never executes game logic.
+
+use crate::closure::closure_for;
+use crate::config::ProtocolConfig;
+use crate::engine::ServerNode;
+use crate::metrics::ServerMetrics;
+use crate::msg::{ToClient, ToServer};
+use crate::server::common::ServerBase;
+use seve_net::time::{SimDuration, SimTime};
+use seve_world::ids::ClientId;
+use seve_world::state::WorldState;
+use seve_world::GameWorld;
+use std::sync::Arc;
+
+/// The Algorithms 5+6 server.
+pub struct IncompleteServer<W: GameWorld> {
+    base: ServerBase<W>,
+}
+
+impl<W: GameWorld> IncompleteServer<W> {
+    /// Build the server.
+    pub fn new(world: Arc<W>, cfg: ProtocolConfig) -> Self {
+        Self {
+            base: ServerBase::new(world, cfg),
+        }
+    }
+
+    /// Test access to the authoritative state.
+    pub fn zeta_s(&self) -> &WorldState {
+        &self.base.zeta_s
+    }
+
+    /// Test access to the last installed position.
+    pub fn last_committed(&self) -> u64 {
+        self.base.last_committed
+    }
+}
+
+impl<W: GameWorld> ServerNode<W> for IncompleteServer<W> {
+    type Up = ToServer<W::Action>;
+    type Down = ToClient<W::Action>;
+
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        from: ClientId,
+        msg: Self::Up,
+        out: &mut Vec<(ClientId, Self::Down)>,
+    ) -> u64 {
+        match msg {
+            ToServer::Submit { action } => {
+                let pos = self.base.enqueue(now, action);
+                // Algorithm 6: compute the reply for the submitting client.
+                let result = closure_for(&mut self.base.queue, from, &[pos]);
+                self.base
+                    .metrics
+                    .closure_scan_entries
+                    .record(result.scanned as f64);
+                let items = self.base.batch_items(from, &result.send, &result.blind_set);
+                self.base.metrics.batch_items.record(items.len() as f64);
+                out.push((from, ToClient::Batch { items }));
+                let cost = self.base.cfg.msg_cost_us + self.base.scan_cost(result.scanned);
+                self.base.metrics.compute_us += cost;
+                cost
+            }
+            ToServer::Completion {
+                pos,
+                id: _,
+                writes,
+                aborted,
+            } => {
+                self.base.on_completion(pos, writes, aborted);
+                self.base.maybe_gc_notice(out);
+                let cost = self.base.cfg.msg_cost_us;
+                self.base.metrics.compute_us += cost;
+                cost
+            }
+        }
+    }
+
+    fn tick(&mut self, _now: SimTime, _out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        0
+    }
+
+    fn push_tick(&mut self, _now: SimTime, _out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        0
+    }
+
+    fn push_period(&self) -> Option<SimDuration> {
+        None
+    }
+
+    fn metrics_mut(&mut self) -> &mut ServerMetrics {
+        &mut self.base.metrics
+    }
+
+    fn metrics(&self) -> &ServerMetrics {
+        &self.base.metrics
+    }
+
+    fn committed(&self) -> Option<&WorldState> {
+        Some(&self.base.zeta_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerMode;
+    use crate::msg::{Item, Payload};
+    use seve_world::action::Action;
+    use seve_world::state::WriteLog;
+    use seve_world::worlds::dining::{DiningConfig, DiningWorld, HOLDER};
+
+    fn setup(n: usize) -> (Arc<DiningWorld>, IncompleteServer<DiningWorld>) {
+        let world = Arc::new(DiningWorld::new(DiningConfig {
+            philosophers: n,
+            ..DiningConfig::default()
+        }));
+        let server = IncompleteServer::new(
+            Arc::clone(&world),
+            ProtocolConfig::with_mode(ServerMode::Incomplete),
+        );
+        (world, server)
+    }
+
+    fn items_of(msg: &ToClient<<DiningWorld as GameWorld>::Action>) -> &[Item<<DiningWorld as GameWorld>::Action>] {
+        match msg {
+            ToClient::Batch { items } => items,
+            _ => panic!("expected batch"),
+        }
+    }
+
+    #[test]
+    fn bootstrap_reply_needs_no_blind_write() {
+        // Before anything commits, every client's initial state already
+        // holds the committed (version 0) values, so the version filter
+        // suppresses the blind write entirely.
+        let (world, mut s) = setup(6);
+        let mut out = Vec::new();
+        let a = world.grab(ClientId(2), 0);
+        s.deliver(SimTime::ZERO, ClientId(2), ToServer::Submit { action: a }, &mut out);
+        assert_eq!(out.len(), 1);
+        let items = items_of(&out[0].1);
+        assert_eq!(items.len(), 1, "just the action — no blind at bootstrap");
+        assert!(matches!(items[0].payload, Payload::Action(_)));
+        assert_eq!(items[0].pos, 1);
+    }
+
+    #[test]
+    fn blind_write_ships_committed_values_the_client_lacks() {
+        let (world, mut s) = setup(6);
+        let mut out = Vec::new();
+        // Philosopher 2 grabs; its completion commits new fork values.
+        let a = world.grab(ClientId(2), 0);
+        s.deliver(SimTime::ZERO, ClientId(2), ToServer::Submit { action: a.clone() }, &mut out);
+        let outcome = a.evaluate(world.env(), &world.initial_state());
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(2),
+            ToServer::Completion {
+                pos: 1,
+                id: a.id(),
+                writes: outcome.writes,
+                aborted: false,
+            },
+            &mut out,
+        );
+        assert_eq!(s.last_committed(), 1);
+        out.clear();
+        // Philosopher 3 shares fork 3 with philosopher 2: its reply must
+        // carry the committed fork values it has never seen, as a blind.
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(3),
+            ToServer::Submit {
+                action: world.grab(ClientId(3), 0),
+            },
+            &mut out,
+        );
+        let items = items_of(&out[0].1);
+        assert_eq!(items.len(), 2, "blind + the action");
+        let Payload::Blind(snap) = &items[0].payload else {
+            panic!("first item must be the blind write");
+        };
+        assert!(snap.object_set().contains(seve_world::worlds::dining::fork(3, 6)));
+        assert_eq!(items[0].pos, 1, "as_of the committed position");
+        // And the same client asking again gets no repeat of that blind.
+        out.clear();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(3),
+            ToServer::Submit {
+                action: world.grab(ClientId(3), 1),
+            },
+            &mut out,
+        );
+        let items2 = items_of(&out[0].1);
+        assert!(
+            items2.iter().all(|i| matches!(i.payload, Payload::Action(_))),
+            "committed values already held are not re-shipped"
+        );
+    }
+
+    #[test]
+    fn unrelated_submissions_do_not_see_each_other() {
+        let (world, mut s) = setup(8);
+        let mut out = Vec::new();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit {
+                action: world.grab(ClientId(0), 0),
+            },
+            &mut out,
+        );
+        out.clear();
+        // Philosopher 4 shares no fork with philosopher 0.
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(4),
+            ToServer::Submit {
+                action: world.grab(ClientId(4), 0),
+            },
+            &mut out,
+        );
+        let items = items_of(&out[0].1);
+        let actions: Vec<u64> = items
+            .iter()
+            .filter(|i| matches!(i.payload, Payload::Action(_)))
+            .map(|i| i.pos)
+            .collect();
+        assert_eq!(actions, vec![2], "only philosopher 4's own grab");
+    }
+
+    #[test]
+    fn adjacent_submission_pulls_the_conflicting_grab() {
+        let (world, mut s) = setup(8);
+        let mut out = Vec::new();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit {
+                action: world.grab(ClientId(0), 0),
+            },
+            &mut out,
+        );
+        out.clear();
+        // Philosopher 1 shares fork 1 with philosopher 0.
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(1),
+            ToServer::Submit {
+                action: world.grab(ClientId(1), 0),
+            },
+            &mut out,
+        );
+        let items = items_of(&out[0].1);
+        let actions: Vec<u64> = items
+            .iter()
+            .filter(|i| matches!(i.payload, Payload::Action(_)))
+            .map(|i| i.pos)
+            .collect();
+        assert_eq!(actions, vec![1, 2], "conflicting grab included, in order");
+    }
+
+    #[test]
+    fn completions_install_in_order_and_advance_zeta_s() {
+        let (world, mut s) = setup(4);
+        let mut out = Vec::new();
+        for c in 0..2u16 {
+            s.deliver(
+                SimTime::ZERO,
+                ClientId(c),
+                ToServer::Submit {
+                    action: world.grab(ClientId(c), 0),
+                },
+                &mut out,
+            );
+        }
+        // Completion for pos 2 arrives first: held (ζ_S(1) unavailable).
+        let mut w2 = WriteLog::new();
+        w2.push(seve_world::worlds::dining::fork(2, 4), HOLDER, 1i64.into());
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(1),
+            ToServer::Completion {
+                pos: 2,
+                id: seve_world::ids::ActionId::new(ClientId(1), 0),
+                writes: w2,
+                aborted: false,
+            },
+            &mut out,
+        );
+        assert_eq!(s.last_committed(), 0, "held until the prefix is ready");
+        // Completion for pos 1 arrives: both install.
+        let mut w1 = WriteLog::new();
+        w1.push(seve_world::worlds::dining::fork(0, 4), HOLDER, 0i64.into());
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Completion {
+                pos: 1,
+                id: seve_world::ids::ActionId::new(ClientId(0), 0),
+                writes: w1,
+                aborted: false,
+            },
+            &mut out,
+        );
+        assert_eq!(s.last_committed(), 2);
+        assert_eq!(
+            s.zeta_s()
+                .attr(seve_world::worlds::dining::fork(2, 4), HOLDER),
+            Some(1i64.into())
+        );
+    }
+
+    #[test]
+    fn aborted_completions_install_as_noops() {
+        let (world, mut s) = setup(4);
+        let mut out = Vec::new();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit {
+                action: world.grab(ClientId(0), 0),
+            },
+            &mut out,
+        );
+        let before = s.zeta_s().digest();
+        s.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Completion {
+                pos: 1,
+                id: seve_world::ids::ActionId::new(ClientId(0), 0),
+                writes: WriteLog::new(),
+                aborted: true,
+            },
+            &mut out,
+        );
+        assert_eq!(s.last_committed(), 1);
+        assert_eq!(s.zeta_s().digest(), before, "no-op installed");
+    }
+}

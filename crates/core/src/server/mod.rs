@@ -1,0 +1,157 @@
+//! Server engines for the action-based protocol family.
+//!
+//! "The central server does not execute any actions, and therefore is free
+//! of the game logic. The server merely timestamps actions, queues them for
+//! delivery for clients, and manages the network traffic" (Section III-A).
+//! Three engines share that shape and differ in *routing*:
+//!
+//! * [`basic::BasicServer`] — Algorithm 2: deliver everything to everyone.
+//! * [`incomplete::IncompleteServer`] — Algorithms 5 + 6: per-submission
+//!   transitive-closure replies, blind writes, completion-driven ζ_S.
+//! * [`bounded::BoundedServer`] — the First Bound Model's ω·RTT proactive
+//!   pushes, optionally with the Information Bound Model's chain-breaking
+//!   drops (Algorithm 7). This is the SEVE server of the evaluation.
+
+pub mod basic;
+pub mod bounded;
+pub mod common;
+pub mod incomplete;
+
+use crate::client::SeveClient;
+use crate::config::{ProtocolConfig, ServerMode};
+use crate::engine::{ProtocolSuite, ServerNode};
+use crate::msg::{ToClient, ToServer};
+use seve_net::time::{SimDuration, SimTime};
+use seve_world::ids::ClientId;
+use seve_world::state::WorldState;
+use seve_world::GameWorld;
+use std::sync::Arc;
+
+/// Either action-protocol server, behind one type so a single suite serves
+/// all four modes.
+pub enum AnySeveServer<W: GameWorld> {
+    /// Algorithm 2.
+    Basic(basic::BasicServer<W>),
+    /// Algorithms 5 + 6.
+    Incomplete(incomplete::IncompleteServer<W>),
+    /// First Bound / Information Bound.
+    Bounded(bounded::BoundedServer<W>),
+}
+
+impl<W: GameWorld> ServerNode<W> for AnySeveServer<W> {
+    type Up = ToServer<W::Action>;
+    type Down = ToClient<W::Action>;
+
+    fn deliver(
+        &mut self,
+        now: SimTime,
+        from: ClientId,
+        msg: Self::Up,
+        out: &mut Vec<(ClientId, Self::Down)>,
+    ) -> u64 {
+        match self {
+            AnySeveServer::Basic(s) => s.deliver(now, from, msg, out),
+            AnySeveServer::Incomplete(s) => s.deliver(now, from, msg, out),
+            AnySeveServer::Bounded(s) => s.deliver(now, from, msg, out),
+        }
+    }
+
+    fn tick(&mut self, now: SimTime, out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        match self {
+            AnySeveServer::Basic(s) => s.tick(now, out),
+            AnySeveServer::Incomplete(s) => s.tick(now, out),
+            AnySeveServer::Bounded(s) => s.tick(now, out),
+        }
+    }
+
+    fn push_tick(&mut self, now: SimTime, out: &mut Vec<(ClientId, Self::Down)>) -> u64 {
+        match self {
+            AnySeveServer::Basic(s) => s.push_tick(now, out),
+            AnySeveServer::Incomplete(s) => s.push_tick(now, out),
+            AnySeveServer::Bounded(s) => s.push_tick(now, out),
+        }
+    }
+
+    fn push_period(&self) -> Option<SimDuration> {
+        match self {
+            AnySeveServer::Basic(s) => s.push_period(),
+            AnySeveServer::Incomplete(s) => s.push_period(),
+            AnySeveServer::Bounded(s) => s.push_period(),
+        }
+    }
+
+    fn metrics_mut(&mut self) -> &mut crate::metrics::ServerMetrics {
+        match self {
+            AnySeveServer::Basic(s) => s.metrics_mut(),
+            AnySeveServer::Incomplete(s) => s.metrics_mut(),
+            AnySeveServer::Bounded(s) => s.metrics_mut(),
+        }
+    }
+
+    fn metrics(&self) -> &crate::metrics::ServerMetrics {
+        match self {
+            AnySeveServer::Basic(s) => s.metrics(),
+            AnySeveServer::Incomplete(s) => s.metrics(),
+            AnySeveServer::Bounded(s) => s.metrics(),
+        }
+    }
+
+    fn committed(&self) -> Option<&WorldState> {
+        match self {
+            AnySeveServer::Basic(s) => s.committed(),
+            AnySeveServer::Incomplete(s) => s.committed(),
+            AnySeveServer::Bounded(s) => s.committed(),
+        }
+    }
+}
+
+/// The protocol suite for all four action-protocol variants, selected by
+/// [`ProtocolConfig::mode`].
+#[derive(Clone, Debug)]
+pub struct SeveSuite {
+    /// The shared protocol configuration.
+    pub cfg: ProtocolConfig,
+}
+
+impl SeveSuite {
+    /// A suite under the given configuration.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl<W: GameWorld> ProtocolSuite<W> for SeveSuite {
+    type Up = ToServer<W::Action>;
+    type Down = ToClient<W::Action>;
+    type Client = SeveClient<W>;
+    type Server = AnySeveServer<W>;
+
+    fn name(&self) -> &'static str {
+        match self.cfg.mode {
+            ServerMode::Basic => "SEVE-basic",
+            ServerMode::Incomplete => "SEVE-incomplete",
+            ServerMode::FirstBound => "SEVE-nodrop",
+            ServerMode::InfoBound => "SEVE",
+        }
+    }
+
+    fn build(&self, world: Arc<W>) -> (Self::Server, Vec<Self::Client>) {
+        let n = world.num_clients();
+        let clients = (0..n)
+            .map(|i| SeveClient::new(ClientId(i as u16), Arc::clone(&world), &self.cfg))
+            .collect();
+        let server = match self.cfg.mode {
+            ServerMode::Basic => {
+                AnySeveServer::Basic(basic::BasicServer::new(Arc::clone(&world), self.cfg.clone()))
+            }
+            ServerMode::Incomplete => AnySeveServer::Incomplete(incomplete::IncompleteServer::new(
+                Arc::clone(&world),
+                self.cfg.clone(),
+            )),
+            ServerMode::FirstBound | ServerMode::InfoBound => AnySeveServer::Bounded(
+                bounded::BoundedServer::new(Arc::clone(&world), self.cfg.clone()),
+            ),
+        };
+        (server, clients)
+    }
+}

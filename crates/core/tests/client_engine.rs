@@ -1,0 +1,283 @@
+//! Focused tests of the client engine's Algorithm 1/3/4 behaviours, driven
+//! message by message over the dining world.
+
+use seve_core::client::SeveClient;
+use seve_core::config::{ProtocolConfig, ServerMode};
+use seve_core::engine::ClientNode;
+use seve_core::msg::{Item, Payload, ToClient, ToServer};
+use seve_net::time::SimTime;
+use seve_world::action::Action;
+use seve_world::ids::ClientId;
+use seve_world::worlds::dining::{fork, DiningConfig, DiningWorld, HOLDER};
+use seve_world::GameWorld;
+use std::sync::Arc;
+
+type Client = SeveClient<DiningWorld>;
+type Down = ToClient<<DiningWorld as GameWorld>::Action>;
+
+fn setup(mode: ServerMode) -> (Arc<DiningWorld>, Client) {
+    let world = Arc::new(DiningWorld::new(DiningConfig {
+        philosophers: 5,
+        ..DiningConfig::default()
+    }));
+    let client = SeveClient::new(ClientId(1), Arc::clone(&world), &ProtocolConfig::with_mode(mode));
+    (world, client)
+}
+
+fn batch(items: Vec<Item<<DiningWorld as GameWorld>::Action>>) -> Down {
+    ToClient::Batch { items }
+}
+
+#[test]
+fn submit_applies_optimistically_and_sends() {
+    let (world, mut c) = setup(ServerMode::Incomplete);
+    let mut out = Vec::new();
+    let grab = world.grab(ClientId(1), 0);
+    let cost = c.submit(SimTime::ZERO, grab, &mut out);
+    assert!(cost > 0);
+    assert_eq!(out.len(), 1);
+    assert!(matches!(out[0], ToServer::Submit { .. }));
+    // Optimistic state shows the forks taken; stable state does not.
+    assert_eq!(c.optimistic().attr(fork(1, 5), HOLDER), Some(1i64.into()));
+    assert_eq!(c.stable().attr(fork(1, 5), HOLDER), Some((-1i64).into()));
+    assert_eq!(c.pending_len(), 1);
+}
+
+#[test]
+fn own_action_return_matching_optimistic_pops_without_reconcile() {
+    let (world, mut c) = setup(ServerMode::Incomplete);
+    let mut out = Vec::new();
+    let grab = world.grab(ClientId(1), 0);
+    c.submit(SimTime::ZERO, grab.clone(), &mut out);
+    out.clear();
+    c.deliver(SimTime::from_ms(238), batch(vec![Item::action(1, grab)]), &mut out);
+    assert_eq!(c.pending_len(), 0);
+    assert_eq!(c.metrics().reconciliations, 0);
+    assert_eq!(c.metrics().response_ms.count(), 1);
+    assert!((c.metrics().response_ms.mean() - 238.0).abs() < 1e-9);
+    // Completion sent for the own action (incomplete-world mode).
+    assert_eq!(out.len(), 1);
+    assert!(matches!(out[0], ToServer::Completion { pos: 1, .. }));
+    // Stable caught up with optimistic.
+    assert_eq!(c.stable().attr(fork(1, 5), HOLDER), Some(1i64.into()));
+}
+
+#[test]
+fn conflicting_prior_action_triggers_reconciliation() {
+    let (world, mut c) = setup(ServerMode::Incomplete);
+    let mut out = Vec::new();
+    // Client 1 grabs forks 1 & 2 optimistically...
+    let mine = world.grab(ClientId(1), 0);
+    c.submit(SimTime::ZERO, mine.clone(), &mut out);
+    assert_eq!(c.optimistic().attr(fork(2, 5), HOLDER), Some(1i64.into()));
+    // ...but philosopher 2's grab (forks 2 & 3) serialized FIRST.
+    let theirs = world.grab(ClientId(2), 0);
+    out.clear();
+    c.deliver(
+        SimTime::from_ms(238),
+        batch(vec![Item::action(1, theirs), Item::action(2, mine)]),
+        &mut out,
+    );
+    // The stable evaluation of our grab aborts (fork 2 taken): mismatch →
+    // Algorithm 3 rolls the optimistic state back.
+    assert_eq!(c.metrics().reconciliations, 1);
+    assert_eq!(c.pending_len(), 0);
+    assert_eq!(
+        c.optimistic().attr(fork(2, 5), HOLDER),
+        Some(2i64.into()),
+        "optimistic fork ownership rolled back to the serialized truth"
+    );
+    assert_eq!(
+        c.optimistic().attr(fork(1, 5), HOLDER),
+        Some((-1i64).into()),
+        "our aborted grab releases fork 1 optimistically too"
+    );
+    // Completion reports the abort.
+    assert!(out.iter().any(|m| matches!(
+        m,
+        ToServer::Completion { pos: 2, aborted: true, .. }
+    )));
+}
+
+#[test]
+fn remote_writes_do_not_touch_pending_objects_in_optimistic_state() {
+    let (world, mut c) = setup(ServerMode::Incomplete);
+    let mut out = Vec::new();
+    // Our grab is pending: forks 1 & 2 are in WS(Q).
+    c.submit(SimTime::ZERO, world.grab(ClientId(1), 0), &mut out);
+    // A remote action on the far side of the ring (philosopher 3: forks
+    // 3 & 4) — applies to both states.
+    let far = world.grab(ClientId(3), 0);
+    c.deliver(SimTime::from_ms(100), batch(vec![Item::action(1, far)]), &mut out);
+    assert_eq!(c.stable().attr(fork(3, 5), HOLDER), Some(3i64.into()));
+    assert_eq!(c.optimistic().attr(fork(3, 5), HOLDER), Some(3i64.into()));
+    // Our pending forks stay optimistically ours ("items awaiting
+    // permanent values from the server").
+    assert_eq!(c.optimistic().attr(fork(1, 5), HOLDER), Some(1i64.into()));
+    assert_eq!(c.optimistic().attr(fork(2, 5), HOLDER), Some(1i64.into()));
+    assert_eq!(c.pending_len(), 1, "own action still pending");
+}
+
+#[test]
+fn drop_notice_rolls_back_the_optimistic_effects() {
+    let (world, mut c) = setup(ServerMode::InfoBound);
+    let mut out = Vec::new();
+    let grab = world.grab(ClientId(1), 0);
+    let id = grab.id();
+    c.submit(SimTime::ZERO, grab, &mut out);
+    assert_eq!(c.optimistic().attr(fork(1, 5), HOLDER), Some(1i64.into()));
+    c.deliver(SimTime::from_ms(150), ToClient::Dropped { id, pos: 1 }, &mut out);
+    assert_eq!(c.metrics().dropped, 1);
+    assert_eq!(c.pending_len(), 0);
+    assert_eq!(
+        c.optimistic().attr(fork(1, 5), HOLDER),
+        Some((-1i64).into()),
+        "dropped action's optimistic writes rolled back"
+    );
+    assert_eq!(c.metrics().drop_notice_ms.count(), 1);
+    assert_eq!(c.metrics().response_ms.count(), 0, "drops are not responses");
+}
+
+#[test]
+fn basic_mode_sends_no_completions() {
+    let (world, mut c) = setup(ServerMode::Basic);
+    let mut out = Vec::new();
+    let grab = world.grab(ClientId(1), 0);
+    c.submit(SimTime::ZERO, grab.clone(), &mut out);
+    out.clear();
+    c.deliver(SimTime::from_ms(238), batch(vec![Item::action(1, grab)]), &mut out);
+    assert!(out.is_empty(), "no ζ_S exists in basic mode");
+    assert_eq!(c.metrics().completions_sent, 0);
+}
+
+#[test]
+fn redundant_mode_completes_remote_actions_too() {
+    let world = Arc::new(DiningWorld::new(DiningConfig {
+        philosophers: 5,
+        ..DiningConfig::default()
+    }));
+    let mut cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    cfg.redundant_completions = true;
+    let mut c: Client = SeveClient::new(ClientId(1), Arc::clone(&world), &cfg);
+    let mut out = Vec::new();
+    let remote = world.grab(ClientId(3), 0);
+    c.deliver(SimTime::from_ms(100), batch(vec![Item::action(1, remote)]), &mut out);
+    assert!(matches!(out[0], ToServer::Completion { pos: 1, .. }));
+}
+
+#[test]
+fn gc_notice_trims_the_replay_log() {
+    let (world, mut c) = setup(ServerMode::Incomplete);
+    let mut out = Vec::new();
+    for (i, who) in [0u16, 2, 3].into_iter().enumerate() {
+        let a = world.grab(ClientId(who), 0);
+        c.deliver(
+            SimTime::from_ms(100 + i as u64),
+            batch(vec![Item::action((i + 1) as u64, a)]),
+            &mut out,
+        );
+    }
+    let digest_before = c.stable().digest();
+    c.deliver(SimTime::from_ms(400), ToClient::GcUpTo { pos: 2 }, &mut out);
+    assert_eq!(c.stable().digest(), digest_before, "gc never changes ζ_CS");
+}
+
+#[test]
+fn eval_records_track_positions_and_digests() {
+    let (world, mut c) = setup(ServerMode::Incomplete);
+    let mut out = Vec::new();
+    let a = world.grab(ClientId(2), 0);
+    let expected = a.evaluate(world.env(), &world.initial_state());
+    c.deliver(SimTime::from_ms(100), batch(vec![Item::action(1, a)]), &mut out);
+    let recs = c.metrics_mut().take_eval_records();
+    assert_eq!(recs.len(), 1);
+    assert_eq!(recs[0].pos, 1);
+    assert_eq!(recs[0].digest, expected.digest());
+    assert_eq!(recs[0].missing_reads, 0);
+}
+
+#[test]
+fn eq2_bound_holds_for_every_pushed_action() {
+    // Emergent Eq. 2: every action the Information Bound server pushes to a
+    // client lies within the Eq. 1 sphere of the client plus at most the
+    // chain threshold (support chains cannot stretch farther — Algorithm 7
+    // dropped anything that would).
+    use seve_core::server::bounded::BoundedServer;
+    use seve_core::engine::ServerNode;
+    use seve_world::worlds::dining::DiningWorld as DW;
+
+    let world = Arc::new(DW::new(DiningConfig {
+        philosophers: 64,
+        spacing: 10.0,
+        ..DiningConfig::default()
+    }));
+    let cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    let mut server: BoundedServer<DW> = BoundedServer::new(Arc::clone(&world), cfg.clone());
+    let mut down = Vec::new();
+    for i in 0..64u16 {
+        server.deliver(
+            SimTime::ZERO,
+            ClientId(i),
+            ToServer::Submit {
+                action: world.grab(ClientId(i), 0),
+            },
+            &mut down,
+        );
+    }
+    server.tick(SimTime::from_ms(50), &mut down);
+    down.clear();
+    server.push_tick(SimTime::from_ms(60), &mut down);
+
+    let sem = world.semantics();
+    let eq1 = 2.0 * sem.max_speed * cfg.rtt.as_secs_f64() * (1.0 + cfg.omega)
+        + sem.client_radius
+        + sem.default_action_radius;
+    let bound = eq1 + cfg.threshold;
+    let env = world.env();
+    for (client, msg) in &down {
+        let ToClient::Batch { items } = msg else { continue };
+        let client_pos = env.seat(client.index());
+        for item in items {
+            if let Payload::Action(a) = &item.payload {
+                if a.issuer() == *client {
+                    continue; // own actions are always delivered
+                }
+                let d = a.influence().center.dist(client_pos);
+                assert!(
+                    d <= bound + 1e-9,
+                    "action at distance {d:.1} exceeds the Eq. 2 bound {bound:.1}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gc_notices_keep_replay_logs_bounded() {
+    // Drive a client with many GC'd rounds: the log length must stay at
+    // the gc window, not grow with history.
+    let (world, mut c) = setup(ServerMode::Incomplete);
+    let mut out = Vec::new();
+    for round in 0..200u64 {
+        let who = ClientId((round % 4) as u16 + 2);
+        // Actions from other philosophers on the far side (never ours).
+        let a = world.grab(who, round as u32);
+        c.deliver(
+            SimTime::from_ms(round * 10),
+            batch(vec![Item::action(round + 1, a)]),
+            &mut out,
+        );
+        if round % 16 == 15 {
+            c.deliver(
+                SimTime::from_ms(round * 10 + 1),
+                ToClient::GcUpTo { pos: round + 1 },
+                &mut out,
+            );
+        }
+    }
+    assert!(
+        c.replay_log_len() <= 16,
+        "log length {} must be bounded by the GC window",
+        c.replay_log_len()
+    );
+}

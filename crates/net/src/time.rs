@@ -1,0 +1,214 @@
+//! Virtual time.
+//!
+//! All protocol timing — the tick interval τ, round-trip times, the ω·RTT
+//! push period, queueing delays, compute busy-time — is expressed in
+//! [`SimTime`] / [`SimDuration`], microsecond-resolution integers. Integer
+//! time makes event ordering exact and runs bit-reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (microseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// The time as whole milliseconds (truncating).
+    #[inline]
+    pub const fn as_ms(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The time as fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The time as whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero rather than
+    /// wrapping — a later-than-now "earlier" is a logic error upstream, and
+    /// the debug assertion flags it.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "time went backwards");
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// The duration in whole microseconds.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in fractional milliseconds.
+    #[inline]
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The duration in fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Scale the duration by a non-negative factor (used for ω·RTT).
+    #[inline]
+    pub fn scaled(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0);
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, o: SimDuration) -> SimDuration {
+        SimDuration(self.0 + o.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, o: SimDuration) {
+        self.0 += o.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, o: SimTime) -> SimDuration {
+        self.since(o)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:.3}ms", self.as_ms_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ms(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_ms(238).as_ms_f64(), 238.0);
+        assert_eq!(SimDuration::from_micros(1_500_000).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(10) + SimDuration::from_ms(5);
+        assert_eq!(t.as_ms(), 15);
+        assert_eq!((t - SimTime::from_ms(10)).as_ms_f64(), 5.0);
+        let mut u = SimTime::ZERO;
+        u += SimDuration::from_micros(7);
+        assert_eq!(u.as_micros(), 7);
+        assert_eq!(
+            SimDuration::from_ms(1) + SimDuration::from_ms(2),
+            SimDuration::from_ms(3)
+        );
+    }
+
+    #[test]
+    fn scaled_rounds() {
+        // ω = 0.25 of a 238ms RTT.
+        let push = SimDuration::from_ms(238).scaled(0.25);
+        assert_eq!(push.as_micros(), 59_500);
+        assert_eq!(SimDuration::from_micros(3).scaled(0.5).as_micros(), 2); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn max_and_since() {
+        let a = SimTime::from_ms(5);
+        let b = SimTime::from_ms(9);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.since(a).as_ms_f64(), 4.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the discrete-event kernel and network model.
+
+use proptest::prelude::*;
+use seve_net::event::EventQueue;
+use seve_net::link::Link;
+use seve_net::stats::Summary;
+use seve_net::time::{SimDuration, SimTime};
+
+proptest! {
+    #[test]
+    fn event_queue_pops_sorted_with_fifo_ties(times in prop::collection::vec(0u64..1000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t, i));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    #[test]
+    fn link_deliveries_are_fifo_and_account_bytes(
+        sends in prop::collection::vec((0u64..10_000, 1u32..5_000), 1..60),
+        bps in prop::option::of(1_000u64..1_000_000),
+        latency_ms in 0u64..500
+    ) {
+        let mut link = Link::new(SimDuration::from_ms(latency_ms), bps);
+        let mut sorted = sends.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut last_delivery = SimTime::ZERO;
+        let mut total = 0u64;
+        for &(t, bytes) in &sorted {
+            let d = link.send(SimTime(t), bytes);
+            // FIFO: deliveries never reorder.
+            prop_assert!(d >= last_delivery);
+            // Causality: delivery is not before send + latency.
+            prop_assert!(d >= SimTime(t) + SimDuration::from_ms(latency_ms));
+            // With a bandwidth cap, serialization takes real time.
+            if let Some(b) = bps {
+                let min_transmit = u64::from(bytes) * 8 * 1_000_000 / b;
+                prop_assert!(d.as_micros() >= t + min_transmit + latency_ms * 1000);
+            }
+            last_delivery = d;
+            total += u64::from(bytes);
+        }
+        prop_assert_eq!(link.bytes_sent(), total);
+        prop_assert_eq!(link.msgs_sent(), sorted.len() as u64);
+    }
+
+    #[test]
+    fn summary_statistics_match_reference(samples in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Summary::new();
+        for &v in &samples {
+            s.record(v);
+        }
+        let mean_ref = samples.iter().sum::<f64>() / samples.len() as f64;
+        prop_assert!((s.mean() - mean_ref).abs() <= 1e-6 * (1.0 + mean_ref.abs()));
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(s.min(), sorted[0]);
+        prop_assert_eq!(s.max(), *sorted.last().unwrap());
+        // Quantiles are actual samples, and the median splits the data.
+        let med = s.median();
+        prop_assert!(samples.contains(&med));
+        let below = samples.iter().filter(|&&v| v <= med).count();
+        prop_assert!(below * 2 >= samples.len());
+    }
+
+    #[test]
+    fn summary_merge_equals_concatenation(
+        a in prop::collection::vec(-100f64..100.0, 0..50),
+        b in prop::collection::vec(-100f64..100.0, 0..50)
+    ) {
+        let mut sa = Summary::new();
+        for &v in &a {
+            sa.record(v);
+        }
+        let mut sb = Summary::new();
+        for &v in &b {
+            sb.record(v);
+        }
+        sa.merge(&sb);
+        let mut sc = Summary::new();
+        for &v in a.iter().chain(b.iter()) {
+            sc.record(v);
+        }
+        prop_assert_eq!(sa.count(), sc.count());
+        prop_assert_eq!(sa.mean(), sc.mean());
+        prop_assert_eq!(sa.p95(), sc.p95());
+    }
+}

@@ -1,0 +1,75 @@
+//! Standalone SEVE client.
+//!
+//! ```text
+//! seve-client --connect host:4000 --id 0 [--moves N] [--period MS]
+//!             [--clients N --walls N --seed N --mode ... --rtt MS]
+//! ```
+//!
+//! Joins a session hosted by `seve-server`, plays the Manhattan People
+//! workload, and prints its response-time summary. World parameters must
+//! match the server's.
+
+use seve_rt::cli::{build_protocol, build_world, parse_common};
+use seve_rt::run_client;
+use seve_world::ids::ClientId;
+use seve_world::worlds::manhattan::ManhattanWorkload;
+use std::time::Duration;
+
+fn main() {
+    let mut connect = "127.0.0.1:4000".to_string();
+    let mut id: u16 = 0;
+    let mut moves: u32 = 50;
+    let mut period_ms: u64 = 100;
+    let mut raw: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--connect" => connect = grab("--connect"),
+            "--id" => id = grab("--id").parse().expect("--id"),
+            "--moves" => moves = grab("--moves").parse().expect("--moves"),
+            "--period" => period_ms = grab("--period").parse().expect("--period"),
+            other => raw.push(other.to_string()),
+        }
+    }
+    let opts = parse_common(raw.into_iter()).unwrap_or_else(|e| {
+        eprintln!("argument error: {e}");
+        std::process::exit(2);
+    });
+    let world = build_world(&opts);
+    let cfg = build_protocol(&opts);
+    let addr = connect.parse().unwrap_or_else(|e| {
+        eprintln!("bad address {connect}: {e}");
+        std::process::exit(2);
+    });
+
+    println!("seve-client {id}: joining {connect}, {moves} moves every {period_ms} ms");
+    let mut wl = ManhattanWorkload::new(&world);
+    match run_client(
+        world,
+        &cfg,
+        addr,
+        ClientId(id),
+        &mut wl,
+        moves,
+        Duration::from_millis(period_ms),
+    ) {
+        Ok(report) => {
+            println!("done: responses {}", report.metrics.response_ms);
+            println!(
+                "  submitted {} dropped {} reconciliations {}",
+                report.metrics.submitted, report.metrics.dropped, report.metrics.reconciliations
+            );
+            println!("  stable digest {:x}", report.stable_digest);
+        }
+        Err(e) => {
+            eprintln!("client failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Length-prefixed framing over TCP.
+//!
+//! Each frame is a `u32` little-endian payload length followed by the
+//! payload (a [`crate::wire`]-encoded message). Frames are capped to keep a
+//! corrupted length prefix from allocating the moon.
+
+use crate::wire::{self, WireError};
+use bytes::{Buf, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted frame payload, bytes.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Framing / transport errors.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// Payload failed to encode/decode.
+    Codec(WireError),
+    /// A frame length exceeded [`MAX_FRAME`].
+    Oversize(usize),
+    /// The peer closed the connection.
+    Closed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::Codec(e) => write!(f, "{e}"),
+            FrameError::Oversize(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            FrameError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Codec(e)
+    }
+}
+
+/// Write one message as a frame. Returns the frame's size on the wire.
+pub fn write_msg<T: Serialize>(stream: &mut TcpStream, msg: &T) -> Result<usize, FrameError> {
+    let payload = wire::to_bytes(msg)?;
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversize(payload.len()));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    stream.write_all(&len)?;
+    stream.write_all(&payload)?;
+    stream.flush()?;
+    Ok(4 + payload.len())
+}
+
+/// A buffered frame reader over a stream.
+pub struct FrameReader {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
+impl FrameReader {
+    /// Wrap a stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: BytesMut::with_capacity(8 * 1024),
+        }
+    }
+
+    /// Read the next message, blocking. `Err(Closed)` on orderly shutdown.
+    pub fn read_msg<T: DeserializeOwned>(&mut self) -> Result<T, FrameError> {
+        loop {
+            if self.buf.len() >= 4 {
+                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+                if len > MAX_FRAME {
+                    return Err(FrameError::Oversize(len));
+                }
+                if self.buf.len() >= 4 + len {
+                    self.buf.advance(4);
+                    let payload = self.buf.split_to(len);
+                    return Ok(wire::from_bytes(&payload)?);
+                }
+            }
+            let mut chunk = [0u8; 8 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(FrameError::Closed);
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn frames_roundtrip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_msg(&mut s, &("hello".to_string(), 42u32)).unwrap();
+            write_msg(&mut s, &vec![1u8, 2, 3]).unwrap();
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = FrameReader::new(conn);
+        let (greeting, n): (String, u32) = reader.read_msg().unwrap();
+        assert_eq!((greeting.as_str(), n), ("hello", 42));
+        let v: Vec<u8> = reader.read_msg().unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        // Orderly close surfaces as Closed.
+        sender.join().unwrap();
+        let end = reader.read_msg::<u8>().unwrap_err();
+        assert!(matches!(end, FrameError::Closed));
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let sender = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            // A forged oversize length prefix.
+            s.write_all(&(u32::MAX).to_le_bytes()).unwrap();
+            s.write_all(&[0u8; 16]).unwrap();
+        });
+        let (conn, _) = listener.accept().unwrap();
+        let mut reader = FrameReader::new(conn);
+        let err = reader.read_msg::<u8>().unwrap_err();
+        assert!(matches!(err, FrameError::Oversize(_)));
+        sender.join().unwrap();
+    }
+}

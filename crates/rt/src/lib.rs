@@ -1,0 +1,31 @@
+//! # seve-rt — the real-network runtime
+//!
+//! The paper evaluates SEVE "using both simulation and real experiments"
+//! (Section I). This crate is the real half: the same protocol engines from
+//! `seve-core` — byte-for-byte the same client and server state machines —
+//! driven over actual TCP sockets with a binary wire format, OS threads,
+//! and wall-clock tick/push timers.
+//!
+//! * [`wire`] — a compact, non-self-describing binary serde format
+//!   (fixed-width little-endian integers, length-prefixed sequences). No
+//!   wire-format crate is among the project's allowed dependencies, so the
+//!   format is implemented here; anything with a serde derive encodes.
+//! * [`frame`] — length-prefixed framing over `TcpStream`.
+//! * [`server`] — a threaded server hosting any [`seve_core::ServerNode`].
+//! * [`client`] — a threaded client driving a [`seve_core::SeveClient`]
+//!   with a workload at a fixed move cadence.
+//!
+//! The loopback integration test runs a full Manhattan People session over
+//! real sockets and checks the same Theorem 1 oracle the simulator uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod frame;
+pub mod server;
+pub mod wire;
+
+pub use client::{run_client, ClientReport};
+pub use server::{run_server, ServerReport};

@@ -1,0 +1,221 @@
+//! The threaded TCP server host.
+//!
+//! Hosts any [`ServerNode`] engine — the exact state machines the
+//! simulator drives — over real sockets: one reader thread per client
+//! feeding a channel, a main loop interleaving message processing with the
+//! wall-clock tick (τ) and push (ω·RTT) timers, and framed writers back to
+//! the clients.
+
+use crate::frame::{write_msg, FrameError, FrameReader};
+use crossbeam::channel::{self, RecvTimeoutError};
+use seve_core::engine::ServerNode;
+use seve_core::metrics::ServerMetrics;
+use seve_net::time::SimTime;
+use seve_world::ids::ClientId;
+use seve_world::GameWorld;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Client → server transport envelope.
+#[derive(Serialize, Deserialize, Debug)]
+pub enum RtUp<M> {
+    /// Identify the connecting client.
+    Hello {
+        /// The client index.
+        client: u16,
+        /// Digest of the client's initial world state. Replicas built from
+        /// different world parameters can never converge; the server
+        /// rejects mismatches at the door instead of diverging silently.
+        world_digest: u64,
+    },
+    /// A protocol message.
+    Msg(M),
+    /// The client has finished its workload and drained.
+    Bye,
+}
+
+/// Server → client transport envelope.
+#[derive(Serialize, Deserialize, Debug)]
+pub enum RtDown<M> {
+    /// A protocol message.
+    Msg(M),
+    /// Session over; the client may disconnect.
+    Stop,
+}
+
+/// What the server observed over the session.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Engine metrics.
+    pub metrics: ServerMetrics,
+    /// Digest of ζ_S at shutdown, if the engine keeps one.
+    pub committed_digest: Option<u64>,
+    /// Total bytes written to clients (frames, including headers).
+    pub bytes_out: u64,
+}
+
+enum Inbound<M> {
+    Msg(ClientId, M),
+    /// Orderly goodbye or lost connection; either ends the client's session.
+    Done,
+}
+
+/// Accept `n` clients on `listener` and run `engine` until every client
+/// says goodbye. `tick` and `push` are the wall-clock cycle periods (push
+/// ignored when the engine does not push). `world_digest` is the digest of
+/// the initial world state; clients presenting a different digest are
+/// rejected (their replicas could never converge).
+pub fn run_server<W, S>(
+    mut engine: S,
+    listener: TcpListener,
+    n: usize,
+    tick: Duration,
+    push: Duration,
+    world_digest: u64,
+) -> Result<ServerReport, FrameError>
+where
+    W: GameWorld,
+    S: ServerNode<W>,
+    S::Up: DeserializeOwned + 'static,
+    S::Down: Serialize + Clone,
+{
+    let (tx, rx) = channel::unbounded::<Inbound<S::Up>>();
+    let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
+    let mut reader_handles = Vec::with_capacity(n);
+
+    let mut accepted = 0usize;
+    while accepted < n {
+        let (stream, peer) = listener.accept()?;
+        stream.set_nodelay(true)?;
+        let mut reader = FrameReader::new(stream.try_clone()?);
+        // The first frame must identify the client.
+        let hello: RtUp<S::Up> = reader.read_msg()?;
+        let RtUp::Hello { client, world_digest: theirs } = hello else {
+            return Err(FrameError::Codec(crate::wire::WireError(
+                "expected Hello as the first frame".into(),
+            )));
+        };
+        if theirs != world_digest {
+            // Incompatible world build: refuse this client, keep waiting.
+            eprintln!(
+                "seve-rt: rejecting client {client} from {peer}: world digest \
+                 {theirs:x} != ours {world_digest:x} (mismatched parameters?)"
+            );
+            drop(stream);
+            continue;
+        }
+        if client as usize >= n {
+            eprintln!(
+                "seve-rt: rejecting client {client} from {peer}: id out of \
+                 range (session has {n} seats)"
+            );
+            drop(stream);
+            continue;
+        }
+        if writers[client as usize].is_some() {
+            eprintln!(
+                "seve-rt: rejecting client {client} from {peer}: seat already \
+                 taken"
+            );
+            drop(stream);
+            continue;
+        }
+        accepted += 1;
+        let id = ClientId(client);
+        writers[id.index()] = Some(stream);
+        let tx = tx.clone();
+        reader_handles.push(std::thread::spawn(move || loop {
+            match reader.read_msg::<RtUp<S::Up>>() {
+                Ok(RtUp::Msg(m)) => {
+                    if tx.send(Inbound::Msg(id, m)).is_err() {
+                        break;
+                    }
+                }
+                Ok(RtUp::Bye) => {
+                    // Count the goodbye but keep reading: the client still
+                    // relays completions for tail actions it receives while
+                    // other clients finish (its phase 3). The thread ends
+                    // when the client closes the socket after Stop.
+                    let _ = tx.send(Inbound::Done);
+                }
+                Ok(RtUp::Hello { .. }) => {
+                    // Duplicate hello: ignore.
+                }
+                Err(_) => {
+                    let _ = tx.send(Inbound::Done);
+                    break;
+                }
+            }
+        }));
+    }
+
+    let epoch = Instant::now();
+    let now = |epoch: Instant| SimTime(epoch.elapsed().as_micros() as u64);
+    let mut next_tick = Instant::now() + tick;
+    let pushes = engine.push_period().is_some();
+    let mut next_push = Instant::now() + push;
+    let mut done = 0usize;
+    let mut bytes_out = 0u64;
+    let mut out: Vec<(ClientId, S::Down)> = Vec::new();
+
+    while done < n {
+        // Fire due timers.
+        let now_i = Instant::now();
+        if now_i >= next_tick {
+            out.clear();
+            engine.tick(now(epoch), &mut out);
+            bytes_out += flush(&mut writers, &out)?;
+            next_tick += tick;
+        }
+        if pushes && now_i >= next_push {
+            out.clear();
+            engine.push_tick(now(epoch), &mut out);
+            bytes_out += flush(&mut writers, &out)?;
+            next_push += push;
+        }
+        let deadline = if pushes { next_tick.min(next_push) } else { next_tick };
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(Inbound::Msg(from, msg)) => {
+                out.clear();
+                engine.deliver(now(epoch), from, msg, &mut out);
+                bytes_out += flush(&mut writers, &out)?;
+            }
+            Ok(Inbound::Done) => {
+                done += 1;
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Session over: release the clients.
+    for w in writers.iter_mut().flatten() {
+        let _ = write_msg(w, &RtDown::<S::Down>::Stop);
+    }
+    drop(rx);
+    for h in reader_handles {
+        let _ = h.join();
+    }
+
+    Ok(ServerReport {
+        metrics: engine.metrics().clone(),
+        committed_digest: engine.committed().map(|s| s.digest()),
+        bytes_out,
+    })
+}
+
+fn flush<M: Serialize + Clone>(
+    writers: &mut [Option<TcpStream>],
+    out: &[(ClientId, M)],
+) -> Result<u64, FrameError> {
+    let mut bytes = 0u64;
+    for (dest, msg) in out {
+        if let Some(w) = writers[dest.index()].as_mut() {
+            bytes += write_msg(w, &RtDown::Msg(msg.clone()))? as u64;
+        }
+    }
+    Ok(bytes)
+}

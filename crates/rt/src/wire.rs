@@ -1,0 +1,652 @@
+//! A compact binary serde format.
+//!
+//! Non-self-describing (the message schema is fixed by the protocol
+//! version), fixed-width little-endian scalars, `u32` length prefixes for
+//! sequences/strings/maps, `u32` variant indices for enums, one tag byte
+//! for `Option`. Everything deriving `serde::{Serialize, Deserialize}`
+//! round-trips; `deserialize_any` is unsupported by design.
+
+use serde::de::{self, DeserializeOwned, IntoDeserializer, Visitor};
+use serde::{ser, Serialize};
+use std::fmt;
+
+/// Encoding / decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl ser::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError(msg.to_string())
+    }
+}
+
+impl de::Error for WireError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        WireError(msg.to_string())
+    }
+}
+
+/// Serialize `value` into bytes.
+pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::with_capacity(128);
+    value.serialize(&mut Encoder { out: &mut out })?;
+    Ok(out)
+}
+
+/// Deserialize a `T` from `bytes`, requiring full consumption.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut dec = Decoder { input: bytes };
+    let v = T::deserialize(&mut dec)?;
+    if !dec.input.is_empty() {
+        return Err(WireError(format!(
+            "{} trailing bytes after value",
+            dec.input.len()
+        )));
+    }
+    Ok(v)
+}
+
+struct Encoder<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl Encoder<'_> {
+    fn put(&mut self, bytes: &[u8]) {
+        self.out.extend_from_slice(bytes);
+    }
+
+    fn put_len(&mut self, len: usize) -> Result<(), WireError> {
+        let len = u32::try_from(len).map_err(|_| WireError("length > u32::MAX".into()))?;
+        self.put(&len.to_le_bytes());
+        Ok(())
+    }
+}
+
+impl ser::Serializer for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = WireError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> Result<(), WireError> {
+        self.put(&[u8::from(v)]);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> Result<(), WireError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i16(self, v: i16) -> Result<(), WireError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i32(self, v: i32) -> Result<(), WireError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_i64(self, v: i64) -> Result<(), WireError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> Result<(), WireError> {
+        self.put(&[v]);
+        Ok(())
+    }
+    fn serialize_u16(self, v: u16) -> Result<(), WireError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u32(self, v: u32) -> Result<(), WireError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_u64(self, v: u64) -> Result<(), WireError> {
+        self.put(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> Result<(), WireError> {
+        self.put(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> Result<(), WireError> {
+        self.put(&v.to_bits().to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> Result<(), WireError> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> Result<(), WireError> {
+        self.put_len(v.len())?;
+        self.put(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), WireError> {
+        self.put_len(v.len())?;
+        self.put(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> Result<(), WireError> {
+        self.put(&[0]);
+        Ok(())
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<(), WireError> {
+        self.put(&[1]);
+        v.serialize(self)
+    }
+    fn serialize_unit(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _: &'static str) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+    ) -> Result<(), WireError> {
+        self.serialize_u32(idx)
+    }
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        v.serialize(self)
+    }
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        self.serialize_u32(idx)?;
+        v.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| WireError("sequences must know their length".into()))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+    fn serialize_tuple(self, _: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(self, _: &'static str, _: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self, WireError> {
+        self.serialize_u32(idx)?;
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
+        let len = len.ok_or_else(|| WireError("maps must know their length".into()))?;
+        self.put_len(len)?;
+        Ok(self)
+    }
+    fn serialize_struct(self, _: &'static str, _: usize) -> Result<Self, WireError> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _: &'static str,
+        idx: u32,
+        _: &'static str,
+        _: usize,
+    ) -> Result<Self, WireError> {
+        self.serialize_u32(idx)?;
+        Ok(self)
+    }
+}
+
+macro_rules! encoder_compound {
+    ($trait:path, $method:ident $(, $key:ident)?) => {
+        impl $trait for &mut Encoder<'_> {
+            type Ok = ();
+            type Error = WireError;
+            $(fn $key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), WireError> {
+                key.serialize(&mut **self)
+            })?
+            fn $method<T: Serialize + ?Sized>(&mut self, v: &T) -> Result<(), WireError> {
+                v.serialize(&mut **self)
+            }
+            fn end(self) -> Result<(), WireError> {
+                Ok(())
+            }
+        }
+    };
+}
+
+encoder_compound!(ser::SerializeSeq, serialize_element);
+encoder_compound!(ser::SerializeTuple, serialize_element);
+encoder_compound!(ser::SerializeTupleStruct, serialize_field);
+encoder_compound!(ser::SerializeTupleVariant, serialize_field);
+encoder_compound!(ser::SerializeMap, serialize_value, serialize_key);
+
+impl ser::SerializeStruct for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for &mut Encoder<'_> {
+    type Ok = ();
+    type Error = WireError;
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _: &'static str,
+        v: &T,
+    ) -> Result<(), WireError> {
+        v.serialize(&mut **self)
+    }
+    fn end(self) -> Result<(), WireError> {
+        Ok(())
+    }
+}
+
+struct Decoder<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Decoder<'de> {
+    fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
+        if self.input.len() < n {
+            return Err(WireError(format!(
+                "needed {n} bytes, had {}",
+                self.input.len()
+            )));
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        Ok(self.take(N)?.try_into().expect("exact length"))
+    }
+
+    fn take_len(&mut self) -> Result<usize, WireError> {
+        Ok(u32::from_le_bytes(self.take_array()?) as usize)
+    }
+}
+
+macro_rules! decode_scalar {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+            visitor.$visit(<$ty>::from_le_bytes(self.take_array()?))
+        }
+    };
+}
+
+impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
+    type Error = WireError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, WireError> {
+        Err(WireError("format is not self-describing".into()))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            b => Err(WireError(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    decode_scalar!(deserialize_i8, visit_i8, i8);
+    decode_scalar!(deserialize_i16, visit_i16, i16);
+    decode_scalar!(deserialize_i32, visit_i32, i32);
+    decode_scalar!(deserialize_i64, visit_i64, i64);
+    decode_scalar!(deserialize_u16, visit_u16, u16);
+    decode_scalar!(deserialize_u32, visit_u32, u32);
+    decode_scalar!(deserialize_u64, visit_u64, u64);
+
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_u8(self.take(1)?[0])
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_f32(f32::from_bits(u32::from_le_bytes(self.take_array()?)))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_f64(f64::from_bits(u64::from_le_bytes(self.take_array()?)))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let code = u32::from_le_bytes(self.take_array()?);
+        visitor.visit_char(char::from_u32(code).ok_or_else(|| {
+            WireError(format!("invalid char code {code}"))
+        })?)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        let bytes = self.take(len)?;
+        visitor.visit_str(
+            std::str::from_utf8(bytes).map_err(|e| WireError(e.to_string()))?,
+        )
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        visitor.visit_bytes(self.take(len)?)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            b => Err(WireError(format!("invalid option tag {b}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_seq(Counted { de: self, left: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
+        let len = self.take_len()?;
+        visitor.visit_map(Counted { de: self, left: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _: &'static str,
+        _: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        visitor.visit_enum(EnumAccess { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _: V) -> Result<V::Value, WireError> {
+        Err(WireError("identifiers are not encoded".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, WireError> {
+        Err(WireError("cannot skip values in a non-self-describing format".into()))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct Counted<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+    left: usize,
+}
+
+impl<'de> de::SeqAccess<'de> for Counted<'_, 'de> {
+    type Error = WireError;
+    fn next_element_seed<T: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
+    type Error = WireError;
+    fn next_key_seed<K: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, WireError> {
+        if self.left == 0 {
+            return Ok(None);
+        }
+        self.left -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+    fn next_value_seed<V: de::DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, WireError> {
+        seed.deserialize(&mut *self.de)
+    }
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.left)
+    }
+}
+
+struct EnumAccess<'a, 'de> {
+    de: &'a mut Decoder<'de>,
+}
+
+impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = WireError;
+    type Variant = Self;
+    fn variant_seed<V: de::DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self), WireError> {
+        let idx = u32::from_le_bytes(self.de.take_array()?);
+        let val = seed.deserialize(idx.into_deserializer())?;
+        Ok((val, self))
+    }
+}
+
+impl<'de> de::VariantAccess<'de> for EnumAccess<'_, 'de> {
+    type Error = WireError;
+    fn unit_variant(self) -> Result<(), WireError> {
+        Ok(())
+    }
+    fn newtype_variant_seed<T: de::DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, WireError> {
+        seed.deserialize(self.de)
+    }
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, WireError> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+/// Round-trip helper used in tests and assertions.
+pub fn roundtrip<T: Serialize + DeserializeOwned>(value: &T) -> Result<T, WireError> {
+    from_bytes(&to_bytes(value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+    use seve_world::geometry::Vec2;
+    use seve_world::ids::{ActionId, AttrId, ClientId, ObjectId};
+    use seve_world::objset::ObjectSet;
+    use seve_world::state::{Snapshot, WriteLog};
+    use seve_world::value::Value;
+    use seve_world::WorldObject;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Mixed {
+        a: u8,
+        b: i64,
+        c: f64,
+        d: bool,
+        e: Option<u32>,
+        f: Vec<u16>,
+        g: String,
+        h: (u8, u8),
+    }
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    enum Shape {
+        Unit,
+        Newtype(u32),
+        Tuple(u8, u8),
+        Struct { x: f64, y: f64 },
+    }
+
+    #[test]
+    fn mixed_struct_roundtrip() {
+        let v = Mixed {
+            a: 7,
+            b: -42,
+            c: 1.5,
+            d: true,
+            e: Some(9),
+            f: vec![1, 2, 3],
+            g: "héllo".into(),
+            h: (4, 5),
+        };
+        assert_eq!(roundtrip(&v).unwrap(), v);
+        let none = Mixed { e: None, ..roundtrip(&v).unwrap() };
+        assert_eq!(roundtrip(&none).unwrap(), none);
+    }
+
+    #[test]
+    fn enum_variants_roundtrip() {
+        for v in [
+            Shape::Unit,
+            Shape::Newtype(77),
+            Shape::Tuple(1, 2),
+            Shape::Struct { x: 0.25, y: -8.0 },
+        ] {
+            assert_eq!(roundtrip(&v).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn world_types_roundtrip() {
+        let id = ActionId::new(ClientId(3), 99);
+        assert_eq!(roundtrip(&id).unwrap(), id);
+        let set: ObjectSet = [ObjectId(5), ObjectId(1)].into_iter().collect();
+        assert_eq!(roundtrip(&set).unwrap(), set);
+        let mut log = WriteLog::new();
+        log.push(ObjectId(2), AttrId(0), Value::Vec2(Vec2::new(1.0, -2.0)));
+        log.push(ObjectId(2), AttrId(1), Value::Bool(true));
+        assert_eq!(roundtrip(&log).unwrap(), log);
+        let mut snap = Snapshot::new();
+        snap.push(
+            ObjectId(9),
+            WorldObject::from_attrs([(AttrId(0), Value::I64(-5))]),
+        );
+        assert_eq!(roundtrip(&snap).unwrap(), snap);
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = to_bytes(&12345678u64).unwrap();
+        let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
+        assert!(err.0.contains("needed"));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&7u32).unwrap();
+        bytes.push(0);
+        assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_error() {
+        assert!(from_bytes::<bool>(&[2]).is_err());
+        assert!(from_bytes::<Option<u8>>(&[7, 0]).is_err());
+    }
+
+    #[test]
+    fn float_bits_are_exact() {
+        let v = f64::from_bits(0x7FF0_0000_0000_0001); // a NaN payload
+        let back: f64 = roundtrip(&v).unwrap();
+        assert_eq!(back.to_bits(), v.to_bits());
+    }
+}

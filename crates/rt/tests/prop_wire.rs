@@ -1,0 +1,108 @@
+//! Property-based round-trip tests for the binary wire format over
+//! arbitrary protocol payloads.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+use seve_rt::wire::{from_bytes, to_bytes};
+use seve_world::geometry::Vec2;
+use seve_world::ids::{ActionId, AttrId, ClientId, ObjectId};
+use seve_world::objset::ObjectSet;
+use seve_world::state::{Snapshot, WriteLog};
+use seve_world::value::Value;
+use seve_world::WorldObject;
+
+#[derive(Serialize, Deserialize, Debug, PartialEq, Clone)]
+enum Nested {
+    Leaf(u8),
+    Pair(i64, bool),
+    Labeled { tag: String, inner: Vec<Nested> },
+    Nothing,
+}
+
+fn nested() -> impl Strategy<Value = Nested> {
+    let leaf = prop_oneof![
+        any::<u8>().prop_map(Nested::Leaf),
+        (any::<i64>(), any::<bool>()).prop_map(|(a, b)| Nested::Pair(a, b)),
+        Just(Nested::Nothing),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (".{0,12}", prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, inner)| Nested::Labeled { tag, inner })
+    })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1e9f64..1e9).prop_map(Value::F64),
+        any::<i64>().prop_map(Value::I64),
+        any::<bool>().prop_map(Value::Bool),
+        ((-1e6f64..1e6), (-1e6f64..1e6)).prop_map(|(x, y)| Value::Vec2(Vec2::new(x, y))),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn nested_enums_roundtrip(v in nested()) {
+        let bytes = to_bytes(&v).unwrap();
+        let back: Nested = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn scalar_tuples_roundtrip(
+        a in any::<u64>(),
+        b in any::<i32>(),
+        c in any::<bool>(),
+        d in -1e12f64..1e12,
+        e in prop::collection::vec(any::<u16>(), 0..32)
+    ) {
+        let v = (a, b, c, d, e);
+        let bytes = to_bytes(&v).unwrap();
+        let back: (u64, i32, bool, f64, Vec<u16>) = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn write_logs_roundtrip(writes in prop::collection::vec((0u32..100, 0u16..8, value()), 0..40)) {
+        let mut log = WriteLog::new();
+        for (o, a, v) in writes {
+            log.push(ObjectId(o), AttrId(a), v);
+        }
+        let bytes = to_bytes(&log).unwrap();
+        let back: WriteLog = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, log);
+    }
+
+    #[test]
+    fn snapshots_roundtrip(objs in prop::collection::vec((0u32..50, prop::collection::vec((0u16..6, value()), 0..6)), 0..12)) {
+        let mut snap = Snapshot::new();
+        for (id, attrs) in objs {
+            snap.push(
+                ObjectId(id),
+                WorldObject::from_attrs(attrs.into_iter().map(|(a, v)| (AttrId(a), v))),
+            );
+        }
+        let bytes = to_bytes(&snap).unwrap();
+        let back: Snapshot = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn object_sets_and_ids_roundtrip(ids in prop::collection::vec(0u32..1000, 0..64), c in any::<u16>(), s in any::<u32>()) {
+        let set: ObjectSet = ids.iter().map(|&i| ObjectId(i)).collect();
+        let back: ObjectSet = from_bytes(&to_bytes(&set).unwrap()).unwrap();
+        prop_assert_eq!(back, set);
+        let id = ActionId::new(ClientId(c), s);
+        let back: ActionId = from_bytes(&to_bytes(&id).unwrap()).unwrap();
+        prop_assert_eq!(back, id);
+    }
+
+    #[test]
+    fn corrupted_length_prefixes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        // Arbitrary bytes must either decode or error — never panic.
+        let _ = from_bytes::<WriteLog>(&bytes);
+        let _ = from_bytes::<Snapshot>(&bytes);
+        let _ = from_bytes::<Vec<String>>(&bytes);
+        let _ = from_bytes::<Nested>(&bytes);
+    }
+}

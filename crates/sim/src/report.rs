@@ -1,0 +1,150 @@
+//! Plain-text rendering of experiment output: figures as aligned series
+//! tables, plus key/value tables (Table I) — the format the `repro`
+//! binary prints and `EXPERIMENTS.md` records.
+
+use std::fmt::Write as _;
+
+/// One plotted line: a label and `(x, y)` points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Legend label ("Central", "SEVE", ...).
+    pub label: String,
+    /// Points in ascending x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// A series from points.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// The y value at the given x, if sampled.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// A reproduced table or figure.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Identifier ("fig6", "table2", ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Meaning of x.
+    pub x_label: String,
+    /// Meaning of y.
+    pub y_label: String,
+    /// The plotted series.
+    pub series: Vec<Series>,
+    /// Free-form observations (drop counts, violation counts, ...).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    /// Find a series by label.
+    pub fn series(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+
+    /// Render the figure as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        // Collect the union of x values, ascending.
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut header = format!("{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(header, " {:>14}", s.label);
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for x in xs {
+            let _ = write!(out, "{x:>14.2}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>14.2}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>14}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "    (y: {})", self.y_label);
+        for n in &self.notes {
+            let _ = writeln!(out, "    note: {n}");
+        }
+        out
+    }
+}
+
+/// Render a key/value settings table (Table I style).
+pub fn render_settings(title: &str, rows: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let key_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+    for (k, v) in rows {
+        let _ = writeln!(out, "  {k:<key_w$}  {v}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "demo".into(),
+            x_label: "clients".into(),
+            y_label: "ms".into(),
+            series: vec![
+                Series::new("A", vec![(1.0, 10.0), (2.0, 20.0)]),
+                Series::new("B", vec![(1.0, 11.0)]),
+            ],
+            notes: vec!["hello".into()],
+        }
+    }
+
+    #[test]
+    fn series_lookup() {
+        let f = fig();
+        assert_eq!(f.series("A").unwrap().y_at(2.0), Some(20.0));
+        assert_eq!(f.series("B").unwrap().y_at(2.0), None);
+        assert!(f.series("C").is_none());
+    }
+
+    #[test]
+    fn render_includes_all_points_and_gaps() {
+        let text = fig().render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("20.00"));
+        assert!(text.contains('-'), "missing sample rendered as a dash");
+        assert!(text.contains("note: hello"));
+    }
+
+    #[test]
+    fn settings_alignment() {
+        let s = render_settings("Table I", &[("Virtual world size", "1000 x 1000".into())]);
+        assert!(s.contains("Table I"));
+        assert!(s.contains("1000 x 1000"));
+    }
+}

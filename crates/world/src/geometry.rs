@@ -1,0 +1,417 @@
+//! Plane geometry: vectors, spheres of influence, wall segments, boxes.
+//!
+//! The paper's bound models (Sections III-D and III-E) reason about *balls of
+//! fixed radius about a high-dimensional point*. The evaluation worlds are
+//! two-dimensional, so the geometric backdrop here is the Euclidean plane;
+//! the protocols themselves only consume distances and sphere tests and are
+//! agnostic to the dimensionality.
+
+use std::fmt;
+
+/// A 2-D vector / point.
+#[derive(Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Eq for Vec2 {}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Construct a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// A unit vector at `angle` radians from the positive x axis.
+    #[inline]
+    pub fn from_angle(angle: f64) -> Self {
+        Self::new(angle.cos(), angle.sin())
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn len2(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn len(self) -> f64 {
+        self.len2().sqrt()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn dist2(self, other: Vec2) -> f64 {
+        (self - other).len2()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn dist(self, other: Vec2) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product).
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The vector scaled to unit length, or zero if it has no length.
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let l = self.len();
+        if l == 0.0 {
+            Vec2::ZERO
+        } else {
+            self / l
+        }
+    }
+
+    /// Rotate 90 degrees counter-clockwise.
+    ///
+    /// Manhattan People avatars turn by exactly 90° when they bump into a
+    /// wall or another avatar (Section V).
+    #[inline]
+    pub fn rot90(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Rotate by `angle` radians counter-clockwise.
+    #[inline]
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Angle from the positive x axis, in radians.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+}
+
+impl fmt::Debug for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+impl std::ops::Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, k: f64) -> Vec2 {
+        Vec2::new(self.x / k, self.y / k)
+    }
+}
+
+impl std::ops::Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+/// A sphere (disc, in 2-D): the *area of influence* of an action or client.
+///
+/// The First Bound Model represents the reach of every action as a sphere of
+/// radius `r_A` about a point `p̄_A` (Section III-D).
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Sphere {
+    /// Center of influence.
+    pub center: Vec2,
+    /// Radius of influence.
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// Construct a sphere.
+    #[inline]
+    pub fn new(center: Vec2, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0);
+        Self { center, radius }
+    }
+
+    /// Does the sphere contain a point?
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        self.center.dist2(p) <= self.radius * self.radius
+    }
+
+    /// Do two spheres intersect (touching counts)?
+    #[inline]
+    pub fn intersects(&self, other: &Sphere) -> bool {
+        let r = self.radius + other.radius;
+        self.center.dist2(other.center) <= r * r
+    }
+
+    /// The sphere grown by `margin` in every direction.
+    #[inline]
+    pub fn grown(&self, margin: f64) -> Sphere {
+        Sphere::new(self.center, self.radius + margin)
+    }
+}
+
+/// A line segment: the shape of a wall in Manhattan People.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Vec2,
+    /// The other endpoint.
+    pub b: Vec2,
+}
+
+impl Segment {
+    /// Construct a segment.
+    #[inline]
+    pub fn new(a: Vec2, b: Vec2) -> Self {
+        Self { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Midpoint of the segment.
+    #[inline]
+    pub fn midpoint(&self) -> Vec2 {
+        (self.a + self.b) * 0.5
+    }
+
+    /// Squared distance from a point to the segment.
+    pub fn dist2_to_point(&self, p: Vec2) -> f64 {
+        let ab = self.b - self.a;
+        let len2 = ab.len2();
+        if len2 == 0.0 {
+            return self.a.dist2(p);
+        }
+        let t = ((p - self.a).dot(ab) / len2).clamp(0.0, 1.0);
+        let proj = self.a + ab * t;
+        proj.dist2(p)
+    }
+
+    /// Distance from a point to the segment.
+    #[inline]
+    pub fn dist_to_point(&self, p: Vec2) -> f64 {
+        self.dist2_to_point(p).sqrt()
+    }
+
+    /// Does this segment properly intersect another (shared endpoints and
+    /// collinear overlap count as intersections)?
+    pub fn intersects(&self, other: &Segment) -> bool {
+        // Orientation-based test with collinear special cases.
+        fn orient(a: Vec2, b: Vec2, c: Vec2) -> f64 {
+            (b - a).cross(c - a)
+        }
+        fn on_segment(a: Vec2, b: Vec2, p: Vec2) -> bool {
+            p.x >= a.x.min(b.x) - 1e-12
+                && p.x <= a.x.max(b.x) + 1e-12
+                && p.y >= a.y.min(b.y) - 1e-12
+                && p.y <= a.y.max(b.y) + 1e-12
+        }
+        let (p1, p2, q1, q2) = (self.a, self.b, other.a, other.b);
+        let d1 = orient(q1, q2, p1);
+        let d2 = orient(q1, q2, p2);
+        let d3 = orient(p1, p2, q1);
+        let d4 = orient(p1, p2, q2);
+        if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+            && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+        {
+            return true;
+        }
+        (d1 == 0.0 && on_segment(q1, q2, p1))
+            || (d2 == 0.0 && on_segment(q1, q2, p2))
+            || (d3 == 0.0 && on_segment(p1, p2, q1))
+            || (d4 == 0.0 && on_segment(p1, p2, q2))
+    }
+
+    /// Is any point of the segment within `radius` of `p`?
+    #[inline]
+    pub fn within(&self, p: Vec2, radius: f64) -> bool {
+        self.dist2_to_point(p) <= radius * radius
+    }
+}
+
+/// An axis-aligned bounding box. Used for world bounds and the spatial grid.
+#[derive(Clone, Copy, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Aabb {
+    /// Construct a box from corners. `min` must be component-wise ≤ `max`.
+    #[inline]
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y);
+        Self { min, max }
+    }
+
+    /// A box from the origin to `(w, h)`.
+    #[inline]
+    pub fn from_size(w: f64, h: f64) -> Self {
+        Self::new(Vec2::ZERO, Vec2::new(w, h))
+    }
+
+    /// Width of the box.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the box.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Does the box contain a point (inclusive)?
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamp a point into the box.
+    #[inline]
+    pub fn clamp(&self, p: Vec2) -> Vec2 {
+        Vec2::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.len(), 5.0);
+        assert_eq!(a + Vec2::new(1.0, -1.0), Vec2::new(4.0, 3.0));
+        assert_eq!(a - a, Vec2::ZERO);
+        assert_eq!(a * 2.0, Vec2::new(6.0, 8.0));
+        assert_eq!(a / 2.0, Vec2::new(1.5, 2.0));
+        assert_eq!(-a, Vec2::new(-3.0, -4.0));
+        assert_eq!(a.dot(Vec2::new(1.0, 0.0)), 3.0);
+        assert_eq!(Vec2::new(1.0, 0.0).cross(Vec2::new(0.0, 1.0)), 1.0);
+    }
+
+    #[test]
+    fn rot90_is_quarter_turn() {
+        let v = Vec2::new(1.0, 0.0);
+        assert_eq!(v.rot90(), Vec2::new(0.0, 1.0));
+        assert_eq!(v.rot90().rot90(), Vec2::new(-1.0, 0.0));
+        assert_eq!(v.rot90().rot90().rot90().rot90(), v);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::new(0.0, 5.0).normalized();
+        assert!((v.len() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), Vec2::ZERO);
+    }
+
+    #[test]
+    fn from_angle_and_angle_roundtrip() {
+        for i in 0..8 {
+            let a = i as f64 * std::f64::consts::FRAC_PI_4 - std::f64::consts::PI + 0.01;
+            let v = Vec2::from_angle(a);
+            assert!((v.angle() - a).abs() < 1e-9);
+            assert!((v.len() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sphere_tests() {
+        let s = Sphere::new(Vec2::ZERO, 2.0);
+        assert!(s.contains(Vec2::new(2.0, 0.0)));
+        assert!(!s.contains(Vec2::new(2.001, 0.0)));
+        let t = Sphere::new(Vec2::new(3.0, 0.0), 1.0);
+        assert!(s.intersects(&t), "touching spheres intersect");
+        let u = Sphere::new(Vec2::new(3.01, 0.0), 1.0);
+        assert!(!s.intersects(&u));
+        assert!(s.grown(1.01).intersects(&u));
+    }
+
+    #[test]
+    fn segment_point_distance() {
+        let s = Segment::new(Vec2::ZERO, Vec2::new(10.0, 0.0));
+        assert_eq!(s.dist_to_point(Vec2::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.dist_to_point(Vec2::new(-4.0, 3.0)), 5.0); // clamps to endpoint
+        assert_eq!(s.dist_to_point(Vec2::new(13.0, 4.0)), 5.0);
+        assert!(s.within(Vec2::new(5.0, 2.9), 3.0));
+        // Degenerate segment.
+        let d = Segment::new(Vec2::new(1.0, 1.0), Vec2::new(1.0, 1.0));
+        assert_eq!(d.dist_to_point(Vec2::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn segment_intersection() {
+        let a = Segment::new(Vec2::new(0.0, 0.0), Vec2::new(4.0, 4.0));
+        let b = Segment::new(Vec2::new(0.0, 4.0), Vec2::new(4.0, 0.0));
+        assert!(a.intersects(&b));
+        let c = Segment::new(Vec2::new(5.0, 5.0), Vec2::new(6.0, 6.0));
+        assert!(!a.intersects(&c));
+        // Shared endpoint counts.
+        let d = Segment::new(Vec2::new(4.0, 4.0), Vec2::new(8.0, 0.0));
+        assert!(a.intersects(&d));
+        // Collinear overlap counts.
+        let e = Segment::new(Vec2::new(2.0, 2.0), Vec2::new(6.0, 6.0));
+        assert!(a.intersects(&e));
+        // Parallel, no overlap.
+        let f = Segment::new(Vec2::new(0.0, 1.0), Vec2::new(4.0, 5.0));
+        assert!(!a.intersects(&f));
+    }
+
+    #[test]
+    fn aabb_contains_and_clamp() {
+        let b = Aabb::from_size(10.0, 20.0);
+        assert_eq!(b.width(), 10.0);
+        assert_eq!(b.height(), 20.0);
+        assert!(b.contains(Vec2::new(10.0, 20.0)));
+        assert!(!b.contains(Vec2::new(10.1, 0.0)));
+        assert_eq!(b.clamp(Vec2::new(-5.0, 30.0)), Vec2::new(0.0, 20.0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Strongly-typed identifiers used throughout the system.
+//!
+//! The paper treats the virtual world as a database of objects manipulated by
+//! client-issued actions. These newtypes keep object identifiers, client
+//! identifiers, action identifiers, and attribute identifiers from being
+//! confused with one another, at zero runtime cost.
+
+use std::fmt;
+
+/// Identifier of an object in the world-state database.
+///
+/// Objects are avatars, forks, projectiles — anything whose state is
+/// replicated and mutated by actions. Identifiers are dense small integers
+/// assigned by the world constructor, which lets spatial indexes and
+/// per-object tables use plain vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// The raw index, for use with dense per-object tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// Identifier of a client (a player's machine running the client program).
+///
+/// The server is not a client; it has no `ClientId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ClientId(pub u16);
+
+impl ClientId {
+    /// The raw index, for use with dense per-client tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Globally unique identifier of an action.
+///
+/// An action is identified by its issuing client and a per-client sequence
+/// number, so clients can mint identifiers without coordination. The *global*
+/// order of actions is established separately, by the server's serialization
+/// queue (the `pos(a)` of Algorithm 2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct ActionId {
+    /// The client that issued the action.
+    pub client: ClientId,
+    /// The issuer-local sequence number (monotone per client).
+    pub seq: u32,
+}
+
+impl ActionId {
+    /// Construct an action identifier.
+    #[inline]
+    pub fn new(client: ClientId, seq: u32) -> Self {
+        Self { client, seq }
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}.{}", self.client.0, self.seq)
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}.{}", self.client.0, self.seq)
+    }
+}
+
+/// Identifier of an attribute within an object.
+///
+/// The paper models every participant as a "high-dimensional tuple";
+/// attributes are the dimensions (position, heading, health, ...). Each
+/// concrete world defines its own attribute vocabulary as constants.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct AttrId(pub u16);
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// Position of an action in the server's global serialization queue.
+///
+/// Assigned by the server when it timestamps an action (Algorithm 2 step a).
+/// Positions start at 1; position 0 is reserved to mean "before any action"
+/// (the initial committed state).
+pub type QueuePos = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_id_index_roundtrip() {
+        assert_eq!(ObjectId(7).index(), 7);
+        assert_eq!(ObjectId(0).index(), 0);
+    }
+
+    #[test]
+    fn action_id_ordering_is_client_major() {
+        let a = ActionId::new(ClientId(1), 9);
+        let b = ActionId::new(ClientId(2), 0);
+        assert!(a < b, "ordering is lexicographic on (client, seq)");
+        let c = ActionId::new(ClientId(1), 10);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ObjectId(3).to_string(), "o3");
+        assert_eq!(ClientId(4).to_string(), "c4");
+        assert_eq!(ActionId::new(ClientId(4), 2).to_string(), "a4.2");
+        assert_eq!(format!("{:?}", AttrId(1)), "@1");
+    }
+}

@@ -1,0 +1,55 @@
+//! # seve-world — the virtual-world substrate
+//!
+//! Networked virtual environments are, at their core, *high-dimensional
+//! databases whose attributes change only in predictable ways* (White et al.,
+//! SIGMOD 2007; Section I of the paper). This crate implements that database
+//! substrate for the SEVE reproduction:
+//!
+//! * [`state::WorldState`] — the in-memory object store holding the world
+//!   state ζ. Clients hold two replicas (optimistic ζ_CO and stable ζ_CS);
+//!   the server holds the authoritative ζ_S.
+//! * [`action::Action`] — the unit of interaction. An action declares a read
+//!   set `RS(a)` and a write set `WS(a)` and carries pure, deterministic code
+//!   that computes new values (or detects a fatal conflict and behaves as a
+//!   no-op, Bayou-style).
+//! * [`geometry`] and [`spatial`] — the Euclidean backdrop and a uniform-grid
+//!   index used for influence-sphere queries (Eq. 1 / Eq. 2 of the paper).
+//! * [`semantics::Semantics`] — the application semantics the protocols
+//!   exploit: maximum rate of change `s`, influence radii `r_A`/`r_C`, and
+//!   interest classes (Section IV-A).
+//! * [`terrain::Terrain`] — immutable obstruction geometry (walls). Walls
+//!   never change, so they are shared read-only context rather than
+//!   replicated state, exactly as in the paper's Manhattan People world.
+//! * [`worlds`] — the three concrete game worlds used in the evaluation:
+//!   Manhattan People (Section V), Dining Philosophers (Section III-E), and
+//!   a fantasy combat world with the scrying spell of Sections I and III-B.
+//!
+//! Everything in this crate is deterministic: actions are pure functions of
+//! the state they are evaluated against, and all randomness is carried
+//! *inside* actions as explicit seeds, so every replica computes identical
+//! results — the property the paper's correctness argument (Theorem 1)
+//! rests on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod geometry;
+pub mod ids;
+pub mod object;
+pub mod objset;
+pub mod semantics;
+pub mod spatial;
+pub mod state;
+pub mod terrain;
+pub mod value;
+pub mod worlds;
+
+pub use action::{Action, GameWorld, Influence, Outcome};
+pub use geometry::{Aabb, Segment, Sphere, Vec2};
+pub use ids::{ActionId, AttrId, ClientId, ObjectId};
+pub use object::WorldObject;
+pub use objset::ObjectSet;
+pub use semantics::{InterestClass, InterestMask, Semantics};
+pub use state::{Snapshot, WorldState, WriteLog};
+pub use value::Value;

@@ -1,0 +1,273 @@
+//! Small sorted sets of object identifiers — the read and write sets of
+//! actions.
+//!
+//! The heart of every protocol in the paper is intersecting read sets with
+//! write sets: Algorithm 6 scans the action queue testing `WS(a_j) ∩ S ≠ ∅`,
+//! and Algorithm 7 does the same while deciding which actions to drop. Read
+//! and write sets of real actions are tiny (an avatar plus a handful of
+//! neighbours), so a sorted `Vec` beats a hash set: intersection is a linear
+//! merge with no hashing and no allocation.
+
+use crate::ids::ObjectId;
+use std::fmt;
+
+/// A sorted, deduplicated set of [`ObjectId`]s.
+///
+/// ```
+/// use seve_world::{ObjectSet, ObjectId};
+///
+/// let rs: ObjectSet = [ObjectId(3), ObjectId(1)].into_iter().collect();
+/// let ws = ObjectSet::singleton(ObjectId(3));
+/// assert!(rs.intersects(&ws)); // the WS(a) ∩ S test of Algorithm 6
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct ObjectSet {
+    ids: Vec<ObjectId>,
+}
+
+impl ObjectSet {
+    /// The empty set.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { ids: Vec::new() }
+    }
+
+    /// An empty set with preallocated capacity.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(cap),
+        }
+    }
+
+    /// A singleton set.
+    #[inline]
+    pub fn singleton(id: ObjectId) -> Self {
+        Self { ids: vec![id] }
+    }
+
+    /// Build a set from an arbitrary iterator (sorts and dedups).
+    pub fn from_iter_unsorted<I: IntoIterator<Item = ObjectId>>(iter: I) -> Self {
+        let mut ids: Vec<ObjectId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Insert an element; returns `true` if it was not already present.
+    pub fn insert(&mut self, id: ObjectId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Remove an element; returns `true` if it was present.
+    pub fn remove(&mut self, id: ObjectId) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Does this set share any element with `other`? (The `WS(a_j) ∩ S ≠ ∅`
+    /// test of Algorithms 6 and 7.) Linear merge over two sorted vectors.
+    pub fn intersects(&self, other: &ObjectSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Set union: `self ← self ∪ other` (the `S ← S ∪ RS(a_j)` step of
+    /// Algorithm 6). Linear merge.
+    pub fn union_with(&mut self, other: &ObjectSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.ids.extend_from_slice(&other.ids);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.ids.len() + other.ids.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ids.len() && j < other.ids.len() {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.ids[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.ids[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.ids[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.ids[i..]);
+        merged.extend_from_slice(&other.ids[j..]);
+        self.ids = merged;
+    }
+
+    /// Set difference: `self ← self \ other` (the `S ← S \ WS(a_j)` step of
+    /// Algorithm 6). Linear merge, in place.
+    pub fn subtract(&mut self, other: &ObjectSet) {
+        if self.is_empty() || other.is_empty() {
+            return;
+        }
+        let mut j = 0;
+        self.ids.retain(|id| {
+            while j < other.ids.len() && other.ids[j] < *id {
+                j += 1;
+            }
+            !(j < other.ids.len() && other.ids[j] == *id)
+        });
+    }
+
+    /// Iterate over the elements in ascending order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The elements as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[ObjectId] {
+        &self.ids
+    }
+
+    /// Remove all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+
+    /// Approximate wire size in bytes (length prefix + 4 bytes per id).
+    #[inline]
+    pub fn wire_bytes(&self) -> u32 {
+        2 + 4 * self.ids.len() as u32
+    }
+}
+
+impl FromIterator<ObjectId> for ObjectSet {
+    fn from_iter<I: IntoIterator<Item = ObjectId>>(iter: I) -> Self {
+        Self::from_iter_unsorted(iter)
+    }
+}
+
+impl fmt::Debug for ObjectSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.ids.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a ObjectSet {
+    type Item = ObjectId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ObjectId>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.ids.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ObjectSet {
+        ids.iter().map(|&i| ObjectId(i)).collect()
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let s = set(&[5, 1, 3, 1, 5]);
+        assert_eq!(s.as_slice(), &[ObjectId(1), ObjectId(3), ObjectId(5)]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ObjectSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(ObjectId(2)));
+        assert!(s.insert(ObjectId(1)));
+        assert!(!s.insert(ObjectId(2)), "duplicate insert is a no-op");
+        assert!(s.contains(ObjectId(1)));
+        assert!(!s.contains(ObjectId(3)));
+        assert!(s.remove(ObjectId(1)));
+        assert!(!s.remove(ObjectId(1)));
+        assert_eq!(s.as_slice(), &[ObjectId(2)]);
+    }
+
+    #[test]
+    fn intersects_cases() {
+        assert!(set(&[1, 3, 5]).intersects(&set(&[5, 7])));
+        assert!(!set(&[1, 3, 5]).intersects(&set(&[2, 4, 6])));
+        assert!(!ObjectSet::new().intersects(&set(&[1])));
+        assert!(!set(&[1]).intersects(&ObjectSet::new()));
+    }
+
+    #[test]
+    fn union_with_merges() {
+        let mut s = set(&[1, 3, 5]);
+        s.union_with(&set(&[2, 3, 9]));
+        assert_eq!(
+            s.as_slice(),
+            &[ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(5), ObjectId(9)]
+        );
+        let mut e = ObjectSet::new();
+        e.union_with(&set(&[4]));
+        assert_eq!(e.as_slice(), &[ObjectId(4)]);
+        let mut t = set(&[4]);
+        t.union_with(&ObjectSet::new());
+        assert_eq!(t.as_slice(), &[ObjectId(4)]);
+    }
+
+    #[test]
+    fn subtract_removes_common() {
+        let mut s = set(&[1, 2, 3, 4, 5]);
+        s.subtract(&set(&[2, 4, 6]));
+        assert_eq!(s.as_slice(), &[ObjectId(1), ObjectId(3), ObjectId(5)]);
+        let mut t = set(&[1]);
+        t.subtract(&set(&[1]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn wire_bytes_scales_with_len() {
+        assert_eq!(ObjectSet::new().wire_bytes(), 2);
+        assert_eq!(set(&[1, 2, 3]).wire_bytes(), 2 + 12);
+    }
+}

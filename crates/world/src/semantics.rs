@@ -1,0 +1,135 @@
+//! Application semantics the protocols exploit.
+//!
+//! The paper's central observation (Sections I and III-D): virtual worlds
+//! have *strict properties of locality*. Every participant is a
+//! high-dimensional tuple with a finite maximum rate of change — spatial
+//! attributes cannot change faster than the maximum object velocity, health
+//! cannot drop faster than the maximum damage. [`Semantics`] packages those
+//! world-wide constants so that the First Bound Model (Eq. 1) and the
+//! Information Bound Model (Eq. 2) can compute conflict spheres.
+//!
+//! Section IV-A ("inconsequential action elimination") additionally lets
+//! clients declare *what kinds* of actions they care about — a human avatar
+//! need not consistently track insects. [`InterestClass`] and
+//! [`InterestMask`] implement that declaration.
+
+use crate::geometry::Aabb;
+
+/// World-wide semantic constants: the inputs to the bound equations.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Semantics {
+    /// `s` — the maximum rate of change of any object's position, in world
+    /// units per second. Used by Eq. 1: `2s × (1+ω)RTT` is how far two
+    /// objects can close on each other within the response bound.
+    pub max_speed: f64,
+    /// `r_A` — the default maximum radius of influence of an action (the
+    /// "move effect range" of Table I). Individual actions may declare a
+    /// smaller or larger radius via [`crate::action::Influence`].
+    pub default_action_radius: f64,
+    /// `r_C` — the maximum radius of influence of any future action by a
+    /// client (how far a client's next action can reach around its avatar).
+    pub client_radius: f64,
+    /// The extent of the world; used for spawning and spatial indexing.
+    pub bounds: Aabb,
+}
+
+impl Semantics {
+    /// Semantics for a `w × h` world with the given motion and influence
+    /// constants.
+    pub fn new(w: f64, h: f64, max_speed: f64, action_radius: f64, client_radius: f64) -> Self {
+        Self {
+            max_speed,
+            default_action_radius: action_radius,
+            client_radius,
+            bounds: Aabb::from_size(w, h),
+        }
+    }
+}
+
+/// The kind of an action, for interest filtering (Section IV-A).
+///
+/// Worlds define their own vocabulary of classes as constants (movement,
+/// combat, ambient/insect noise, ...). A class is a small integer index into
+/// an [`InterestMask`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct InterestClass(pub u8);
+
+impl InterestClass {
+    /// The default class; every client is interested in it.
+    pub const DEFAULT: InterestClass = InterestClass(0);
+}
+
+/// A set of [`InterestClass`]es a client has subscribed to.
+///
+/// "We can extend the system so as to allow the clients to specify exactly
+/// what kind of actions and information they are interested in, instead of
+/// assuming absolute uniformity" (Section IV-A).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub struct InterestMask(pub u32);
+
+impl InterestMask {
+    /// Interested in every class (the paper's default uniform behaviour).
+    pub const ALL: InterestMask = InterestMask(u32::MAX);
+    /// Interested in nothing.
+    pub const NONE: InterestMask = InterestMask(0);
+
+    /// A mask containing exactly the given classes.
+    pub fn of(classes: &[InterestClass]) -> Self {
+        let mut m = 0u32;
+        for c in classes {
+            debug_assert!(c.0 < 32, "at most 32 interest classes");
+            m |= 1 << c.0;
+        }
+        InterestMask(m)
+    }
+
+    /// Does the mask contain `class`?
+    #[inline]
+    pub fn contains(self, class: InterestClass) -> bool {
+        debug_assert!(class.0 < 32);
+        self.0 & (1 << class.0) != 0
+    }
+
+    /// The union of two masks.
+    #[inline]
+    pub fn union(self, other: InterestMask) -> InterestMask {
+        InterestMask(self.0 | other.0)
+    }
+}
+
+impl Default for InterestMask {
+    fn default() -> Self {
+        InterestMask::ALL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_membership() {
+        let m = InterestMask::of(&[InterestClass(0), InterestClass(3)]);
+        assert!(m.contains(InterestClass(0)));
+        assert!(!m.contains(InterestClass(1)));
+        assert!(m.contains(InterestClass(3)));
+        assert!(InterestMask::ALL.contains(InterestClass(31)));
+        assert!(!InterestMask::NONE.contains(InterestClass(0)));
+    }
+
+    #[test]
+    fn mask_union() {
+        let a = InterestMask::of(&[InterestClass(1)]);
+        let b = InterestMask::of(&[InterestClass(2)]);
+        let u = a.union(b);
+        assert!(u.contains(InterestClass(1)) && u.contains(InterestClass(2)));
+    }
+
+    #[test]
+    fn semantics_constructor() {
+        let s = Semantics::new(1000.0, 1000.0, 33.3, 10.0, 10.0);
+        assert_eq!(s.bounds.width(), 1000.0);
+        assert_eq!(s.max_speed, 33.3);
+        assert_eq!(s.default_action_radius, 10.0);
+    }
+}

@@ -1,0 +1,506 @@
+//! The world-state database ζ.
+//!
+//! A [`WorldState`] is the in-memory object store a net-VE keeps in front of
+//! its persistent database (Section II). Each client program maintains two
+//! of them — an optimistic version ζ_CO and a stable version ζ_CS — and
+//! under the Incomplete World Model the server maintains the authoritative
+//! ζ_S (Algorithm 5).
+//!
+//! Under the Incomplete World Model a client's state holds only the objects
+//! the server has sent it, so "object not present" is an ordinary condition,
+//! distinct from an empty object.
+//!
+//! Mutations happen through [`WriteLog`]s (the effects computed by actions)
+//! and [`Snapshot`]s (the blind writes `W(S, ζ_S(S))` of Algorithm 6, which
+//! unconditionally store authoritative values for an object set).
+
+use crate::ids::{AttrId, ObjectId};
+use crate::object::WorldObject;
+use crate::objset::ObjectSet;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The set of attribute writes produced by evaluating one action.
+///
+/// A write log records full attribute values (not deltas), grouped by
+/// object. Replaying a write log is idempotent, which is what makes
+/// reconciliation (Algorithm 3) and ordered replay safe.
+///
+/// ```
+/// use seve_world::{WorldState, ObjectId};
+/// use seve_world::ids::AttrId;
+/// use seve_world::state::WriteLog;
+///
+/// let mut log = WriteLog::new();
+/// log.push(ObjectId(7), AttrId(0), true.into());
+/// let mut state = WorldState::new();
+/// state.apply_writes(&log);
+/// state.apply_writes(&log); // idempotent
+/// assert_eq!(state.attr(ObjectId(7), AttrId(0)), Some(true.into()));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct WriteLog {
+    writes: Vec<(ObjectId, AttrId, Value)>,
+}
+
+impl WriteLog {
+    /// An empty write log (the effect of an aborted / no-op action).
+    #[inline]
+    pub const fn new() -> Self {
+        Self { writes: Vec::new() }
+    }
+
+    /// Record a write of `value` to `(object, attr)`.
+    #[inline]
+    pub fn push(&mut self, object: ObjectId, attr: AttrId, value: Value) {
+        self.writes.push((object, attr, value));
+    }
+
+    /// Number of individual attribute writes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Is the log empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Iterate over the recorded writes in order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, AttrId, Value)> + '_ {
+        self.writes.iter().copied()
+    }
+
+    /// The set of objects written.
+    pub fn touched_objects(&self) -> ObjectSet {
+        self.writes.iter().map(|&(o, _, _)| o).collect()
+    }
+
+    /// Mix the log into a digest. Two logs with the same writes in the same
+    /// order digest equal — this is the result value `v` that the client
+    /// protocol compares between optimistic and stable evaluations.
+    pub fn fold_digest(&self, mut h: u64) -> u64 {
+        for (o, a, v) in self.iter() {
+            h ^= u64::from(o.0).wrapping_mul(0xA076_1D64_78BD_642F);
+            h ^= u64::from(a.0).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+            h = v.fold_digest(h);
+        }
+        h
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        2 + self
+            .writes
+            .iter()
+            .map(|&(_, _, v)| 4 + 2 + v.wire_bytes())
+            .sum::<u32>()
+    }
+}
+
+impl fmt::Debug for WriteLog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut l = f.debug_list();
+        for (o, a, v) in self.iter() {
+            l.entry(&format_args!("{o:?}.{a:?}={v:?}"));
+        }
+        l.finish()
+    }
+}
+
+/// Full-object snapshot: the payload of a blind write `W(S, v)`.
+///
+/// Algorithm 6 prepends `W(S, ζ_S(S))` to every reply — authoritative
+/// committed values for the read-set items the client cannot derive from the
+/// actions it holds. Applying a snapshot *replaces* each object wholesale.
+#[derive(Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    objects: Vec<(ObjectId, WorldObject)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    #[inline]
+    pub const fn new() -> Self {
+        Self {
+            objects: Vec::new(),
+        }
+    }
+
+    /// Add an object to the snapshot.
+    #[inline]
+    pub fn push(&mut self, id: ObjectId, object: WorldObject) {
+        self.objects.push((id, object));
+    }
+
+    /// Number of objects captured.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the snapshot empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterate over the captured objects.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &WorldObject)> {
+        self.objects.iter().map(|(id, o)| (*id, o))
+    }
+
+    /// The set of objects captured.
+    pub fn object_set(&self) -> ObjectSet {
+        self.objects.iter().map(|&(o, _)| o).collect()
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_bytes(&self) -> u32 {
+        2 + self
+            .objects
+            .iter()
+            .map(|(_, o)| 4 + o.wire_bytes())
+            .sum::<u32>()
+    }
+}
+
+impl fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (id, o) in self.iter() {
+            m.entry(&id, o);
+        }
+        m.finish()
+    }
+}
+
+/// The world state ζ: a map from object id to object.
+///
+/// Backed by a `BTreeMap` so iteration order — and therefore digests and
+/// consistency comparisons — is deterministic. World populations in the
+/// paper's evaluation are at most a few thousand objects, where a B-tree's
+/// cache behaviour is perfectly adequate and determinism is worth far more
+/// than the last nanosecond of lookup time.
+///
+/// ```
+/// use seve_world::{WorldState, ObjectId};
+/// use seve_world::ids::AttrId;
+///
+/// let mut zeta = WorldState::new();
+/// zeta.set_attr(ObjectId(1), AttrId(0), 100i64.into());
+/// assert_eq!(zeta.attr(ObjectId(1), AttrId(0)), Some(100i64.into()));
+///
+/// // Two states with the same content share a digest.
+/// let copy = zeta.clone();
+/// assert_eq!(zeta.digest(), copy.digest());
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct WorldState {
+    objects: BTreeMap<ObjectId, WorldObject>,
+}
+
+impl WorldState {
+    /// An empty world.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of materialized objects.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the world empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Is `id` materialized in this state?
+    ///
+    /// Under the Incomplete World Model, clients materialize only the
+    /// objects the server has sent them.
+    #[inline]
+    pub fn contains(&self, id: ObjectId) -> bool {
+        self.objects.contains_key(&id)
+    }
+
+    /// Read an object.
+    #[inline]
+    pub fn get(&self, id: ObjectId) -> Option<&WorldObject> {
+        self.objects.get(&id)
+    }
+
+    /// Read one attribute of one object.
+    #[inline]
+    pub fn attr(&self, id: ObjectId, attr: AttrId) -> Option<Value> {
+        self.objects.get(&id).and_then(|o| o.get(attr))
+    }
+
+    /// Insert or replace an object wholesale.
+    #[inline]
+    pub fn put(&mut self, id: ObjectId, object: WorldObject) {
+        self.objects.insert(id, object);
+    }
+
+    /// Remove an object. Returns the object if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: ObjectId) -> Option<WorldObject> {
+        self.objects.remove(&id)
+    }
+
+    /// Write one attribute, creating the object if needed.
+    pub fn set_attr(&mut self, id: ObjectId, attr: AttrId, value: Value) {
+        self.objects.entry(id).or_default().set(attr, value);
+    }
+
+    /// Apply every write in a [`WriteLog`], creating objects as needed.
+    pub fn apply_writes(&mut self, log: &WriteLog) {
+        for (o, a, v) in log.iter() {
+            self.set_attr(o, a, v);
+        }
+    }
+
+    /// Apply a write log, but only writes to objects **not** in `skip`.
+    ///
+    /// This is the guarded propagation of Algorithm 1 step 4 / Algorithm 4
+    /// step 4: writes from serialized remote actions update the optimistic
+    /// state ζ_CO only for items *not awaiting permanent values* — i.e. not
+    /// in `WS(Q)`, the write set of the client's own pending actions.
+    pub fn apply_writes_except(&mut self, log: &WriteLog, skip: &ObjectSet) {
+        for (o, a, v) in log.iter() {
+            if !skip.contains(o) {
+                self.set_attr(o, a, v);
+            }
+        }
+    }
+
+    /// Apply a blind-write snapshot: replace each captured object wholesale.
+    pub fn apply_snapshot(&mut self, snap: &Snapshot) {
+        for (id, o) in snap.iter() {
+            self.objects.insert(id, o.clone());
+        }
+    }
+
+    /// Apply a blind-write snapshot, skipping objects in `skip` (the ζ_CO
+    /// guard, as for [`WorldState::apply_writes_except`]).
+    pub fn apply_snapshot_except(&mut self, snap: &Snapshot, skip: &ObjectSet) {
+        for (id, o) in snap.iter() {
+            if !skip.contains(id) {
+                self.objects.insert(id, o.clone());
+            }
+        }
+    }
+
+    /// Capture current values of `set` into a [`Snapshot`] — the server-side
+    /// construction of `W(S, ζ_S(S))`. Objects in `set` that are not
+    /// materialized are silently omitted (they do not exist yet anywhere).
+    pub fn snapshot_of(&self, set: &ObjectSet) -> Snapshot {
+        let mut snap = Snapshot::new();
+        for id in set.iter() {
+            if let Some(o) = self.objects.get(&id) {
+                snap.push(id, o.clone());
+            }
+        }
+        snap
+    }
+
+    /// Copy current values of `set` from `source` into this state — the
+    /// state-reset step `ζ_CO(WS(Q)) ← ζ_CS(WS(Q))` of Algorithm 3. Objects
+    /// missing from `source` are removed here too, so the two states agree
+    /// on `set` exactly afterwards.
+    pub fn copy_objects_from(&mut self, source: &WorldState, set: &ObjectSet) {
+        for id in set.iter() {
+            match source.objects.get(&id) {
+                Some(o) => {
+                    self.objects.insert(id, o.clone());
+                }
+                None => {
+                    self.objects.remove(&id);
+                }
+            }
+        }
+    }
+
+    /// Iterate over `(id, object)` in ascending id order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &WorldObject)> {
+        self.objects.iter().map(|(id, o)| (*id, o))
+    }
+
+    /// The set of materialized object ids.
+    pub fn object_set(&self) -> ObjectSet {
+        self.objects.keys().copied().collect()
+    }
+
+    /// A 64-bit digest of the entire state. Equal digests ⇔ equal states
+    /// (up to hash collision); used by consistency checks and tests.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (id, o) in self.iter() {
+            h ^= u64::from(id.0).wrapping_mul(0x2545_F491_4F6C_DD1D);
+            h = o.fold_digest(h);
+        }
+        h
+    }
+
+    /// Compare two states on the objects *both* materialize, returning the
+    /// ids where they disagree. This is the Theorem 1 consistency predicate
+    /// for incomplete replicas: a distributed snapshot is consistent when
+    /// every pair of states agrees on their common objects.
+    pub fn divergence_on_common(&self, other: &WorldState) -> Vec<ObjectId> {
+        let mut diverged = Vec::new();
+        // Both maps iterate in ascending id order: linear merge.
+        let mut it_b = other.objects.iter().peekable();
+        for (id, obj) in &self.objects {
+            while let Some((bid, _)) = it_b.peek() {
+                if *bid < id {
+                    it_b.next();
+                } else {
+                    break;
+                }
+            }
+            if let Some((bid, bobj)) = it_b.peek() {
+                if *bid == id && *bobj != obj {
+                    diverged.push(*id);
+                }
+            }
+        }
+        diverged
+    }
+}
+
+impl fmt::Debug for WorldState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (id, o) in self.iter() {
+            m.entry(&id, o);
+        }
+        m.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POS: AttrId = AttrId(0);
+    const HP: AttrId = AttrId(1);
+
+    fn obj(hp: i64) -> WorldObject {
+        WorldObject::from_attrs([(HP, Value::I64(hp))])
+    }
+
+    #[test]
+    fn put_get_contains_remove() {
+        let mut w = WorldState::new();
+        assert!(!w.contains(ObjectId(1)));
+        w.put(ObjectId(1), obj(10));
+        assert!(w.contains(ObjectId(1)));
+        assert_eq!(w.attr(ObjectId(1), HP), Some(Value::I64(10)));
+        assert_eq!(w.attr(ObjectId(1), POS), None);
+        assert_eq!(w.remove(ObjectId(1)), Some(obj(10)));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn apply_writes_creates_and_overwrites() {
+        let mut w = WorldState::new();
+        let mut log = WriteLog::new();
+        log.push(ObjectId(1), HP, Value::I64(5));
+        log.push(ObjectId(2), HP, Value::I64(7));
+        log.push(ObjectId(1), HP, Value::I64(6)); // later write wins
+        w.apply_writes(&log);
+        assert_eq!(w.attr(ObjectId(1), HP), Some(Value::I64(6)));
+        assert_eq!(w.attr(ObjectId(2), HP), Some(Value::I64(7)));
+    }
+
+    #[test]
+    fn apply_writes_except_skips_pending_objects() {
+        let mut w = WorldState::new();
+        w.put(ObjectId(1), obj(1));
+        w.put(ObjectId(2), obj(2));
+        let mut log = WriteLog::new();
+        log.push(ObjectId(1), HP, Value::I64(100));
+        log.push(ObjectId(2), HP, Value::I64(200));
+        let skip = ObjectSet::singleton(ObjectId(1));
+        w.apply_writes_except(&log, &skip);
+        assert_eq!(w.attr(ObjectId(1), HP), Some(Value::I64(1)), "skipped");
+        assert_eq!(w.attr(ObjectId(2), HP), Some(Value::I64(200)), "applied");
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut w = WorldState::new();
+        w.put(ObjectId(3), obj(3));
+        w.put(ObjectId(5), obj(5));
+        let set: ObjectSet = [ObjectId(3), ObjectId(4), ObjectId(5)].into_iter().collect();
+        let snap = w.snapshot_of(&set);
+        assert_eq!(snap.len(), 2, "missing object 4 omitted");
+        let mut w2 = WorldState::new();
+        w2.put(ObjectId(3), obj(99)); // stale value gets replaced
+        w2.apply_snapshot(&snap);
+        assert_eq!(w2.attr(ObjectId(3), HP), Some(Value::I64(3)));
+        assert_eq!(w2.attr(ObjectId(5), HP), Some(Value::I64(5)));
+    }
+
+    #[test]
+    fn copy_objects_from_mirrors_presence() {
+        let mut src = WorldState::new();
+        src.put(ObjectId(1), obj(11));
+        let mut dst = WorldState::new();
+        dst.put(ObjectId(1), obj(99));
+        dst.put(ObjectId(2), obj(22)); // absent in src → removed from dst
+        let set: ObjectSet = [ObjectId(1), ObjectId(2)].into_iter().collect();
+        dst.copy_objects_from(&src, &set);
+        assert_eq!(dst.attr(ObjectId(1), HP), Some(Value::I64(11)));
+        assert!(!dst.contains(ObjectId(2)));
+    }
+
+    #[test]
+    fn digest_detects_divergence() {
+        let mut a = WorldState::new();
+        let mut b = WorldState::new();
+        a.put(ObjectId(1), obj(1));
+        b.put(ObjectId(1), obj(1));
+        assert_eq!(a.digest(), b.digest());
+        b.set_attr(ObjectId(1), HP, Value::I64(2));
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn divergence_on_common_ignores_unshared_objects() {
+        let mut a = WorldState::new();
+        let mut b = WorldState::new();
+        a.put(ObjectId(1), obj(1));
+        a.put(ObjectId(2), obj(2));
+        b.put(ObjectId(2), obj(2));
+        b.put(ObjectId(3), obj(3));
+        assert!(a.divergence_on_common(&b).is_empty(), "agree on shared o2");
+        b.set_attr(ObjectId(2), HP, Value::I64(99));
+        assert_eq!(a.divergence_on_common(&b), vec![ObjectId(2)]);
+    }
+
+    #[test]
+    fn writelog_digest_and_touched() {
+        let mut l1 = WriteLog::new();
+        l1.push(ObjectId(1), HP, Value::I64(5));
+        let mut l2 = WriteLog::new();
+        l2.push(ObjectId(1), HP, Value::I64(5));
+        assert_eq!(l1.fold_digest(0), l2.fold_digest(0));
+        l2.push(ObjectId(2), HP, Value::I64(5));
+        assert_ne!(l1.fold_digest(0), l2.fold_digest(0));
+        assert_eq!(
+            l2.touched_objects().as_slice(),
+            &[ObjectId(1), ObjectId(2)]
+        );
+    }
+}

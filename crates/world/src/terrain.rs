@@ -1,0 +1,193 @@
+//! Immutable terrain: the walls of Manhattan People.
+//!
+//! Walls never change, so they are not replicated world state — every
+//! replica shares one read-only [`Terrain`] (the paper's obstruction
+//! geometry). Two things matter about walls:
+//!
+//! 1. **Collision**: a move must detect crossing a wall and turn 90°.
+//! 2. **Cost**: "each move evaluation checked for conflicts with a varying
+//!    number of walls closest to the client's avatar ... clients required an
+//!    average of 6.95 ms per move per 1,000 visible walls" (Section V-A.2).
+//!    The number of *visible* walls (within avatar visibility) drives the
+//!    simulated compute cost.
+//!
+//! Walls are indexed by a uniform grid keyed on their midpoints; wall length
+//! (10 units) is far below sensible visibility radii, so a query grown by
+//! half the maximum wall length finds every wall whose any-part is within
+//! range.
+
+use crate::geometry::{Aabb, Segment, Vec2};
+use crate::spatial::UniformGrid;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The immutable wall set of a world, with a spatial index.
+#[derive(Clone, Debug)]
+pub struct Terrain {
+    bounds: Aabb,
+    walls: Vec<Segment>,
+    grid: UniformGrid<u32>,
+    max_wall_len: f64,
+}
+
+impl Terrain {
+    /// Build terrain from explicit wall segments.
+    pub fn from_walls(bounds: Aabb, walls: Vec<Segment>) -> Self {
+        let max_wall_len = walls.iter().map(Segment::len).fold(0.0, f64::max);
+        // Cell size on the order of typical query radii; clamp for tiny
+        // worlds so the grid stays shallow.
+        let cell = (bounds.width().max(bounds.height()) / 64.0).max(5.0);
+        let mut grid = UniformGrid::new(bounds, cell);
+        for (i, w) in walls.iter().enumerate() {
+            grid.insert(i as u32, w.midpoint());
+        }
+        Self {
+            bounds,
+            walls,
+            grid,
+            max_wall_len,
+        }
+    }
+
+    /// Terrain with no walls.
+    pub fn empty(bounds: Aabb) -> Self {
+        Self::from_walls(bounds, Vec::new())
+    }
+
+    /// Generate `count` axis-aligned walls of length `wall_len`, uniformly
+    /// placed, alternating orientation pseudo-randomly — the Manhattan
+    /// People layout ("each wall had length 10, and the number of walls was
+    /// limited to 100,000", Section V-A.2). Deterministic in `seed`.
+    pub fn manhattan(bounds: Aabb, count: usize, wall_len: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut walls = Vec::with_capacity(count);
+        for _ in 0..count {
+            let x = rng.gen_range(bounds.min.x..bounds.max.x);
+            let y = rng.gen_range(bounds.min.y..bounds.max.y);
+            let a = Vec2::new(x, y);
+            let b = if rng.gen_bool(0.5) {
+                Vec2::new((x + wall_len).min(bounds.max.x), y)
+            } else {
+                Vec2::new(x, (y + wall_len).min(bounds.max.y))
+            };
+            walls.push(Segment::new(a, b));
+        }
+        Self::from_walls(bounds, walls)
+    }
+
+    /// The world bounds.
+    #[inline]
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Total number of walls.
+    #[inline]
+    pub fn wall_count(&self) -> usize {
+        self.walls.len()
+    }
+
+    /// All walls.
+    #[inline]
+    pub fn walls(&self) -> &[Segment] {
+        &self.walls
+    }
+
+    /// Count walls any part of which lies within `radius` of `p` — the
+    /// "visible walls" input to the per-move cost model.
+    pub fn walls_within(&self, p: Vec2, radius: f64) -> usize {
+        let mut n = 0;
+        self.grid
+            .for_each_within(p, radius + self.max_wall_len * 0.5, |i, _| {
+                if self.walls[i as usize].within(p, radius) {
+                    n += 1;
+                }
+            });
+        n
+    }
+
+    /// Visit walls near `p` (within `radius`, conservatively), for collision
+    /// testing. Visits a superset of the exact set; the caller applies the
+    /// precise geometric test.
+    pub fn for_each_wall_near(&self, p: Vec2, radius: f64, mut f: impl FnMut(&Segment)) {
+        self.grid
+            .for_each_within(p, radius + self.max_wall_len * 0.5, |i, _| {
+                f(&self.walls[i as usize]);
+            });
+    }
+
+    /// Does the path from `from` to `to` cross any wall?
+    ///
+    /// This is the Manhattan People collision predicate. The search radius
+    /// covers the whole path.
+    pub fn path_blocked(&self, from: Vec2, to: Vec2) -> bool {
+        let path = Segment::new(from, to);
+        let mid = path.midpoint();
+        let radius = from.dist(to) * 0.5;
+        let mut blocked = false;
+        self.for_each_wall_near(mid, radius, |w| {
+            if !blocked && path.intersects(w) {
+                blocked = true;
+            }
+        });
+        blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> Aabb {
+        Aabb::from_size(100.0, 100.0)
+    }
+
+    #[test]
+    fn empty_terrain_blocks_nothing() {
+        let t = Terrain::empty(bounds());
+        assert_eq!(t.wall_count(), 0);
+        assert!(!t.path_blocked(Vec2::new(0.0, 0.0), Vec2::new(100.0, 100.0)));
+        assert_eq!(t.walls_within(Vec2::new(50.0, 50.0), 50.0), 0);
+    }
+
+    #[test]
+    fn explicit_wall_blocks_crossing_path() {
+        let wall = Segment::new(Vec2::new(50.0, 40.0), Vec2::new(50.0, 60.0));
+        let t = Terrain::from_walls(bounds(), vec![wall]);
+        assert!(t.path_blocked(Vec2::new(45.0, 50.0), Vec2::new(55.0, 50.0)));
+        assert!(!t.path_blocked(Vec2::new(45.0, 30.0), Vec2::new(55.0, 30.0)));
+        // Parallel path alongside the wall does not collide.
+        assert!(!t.path_blocked(Vec2::new(49.0, 40.0), Vec2::new(49.0, 60.0)));
+    }
+
+    #[test]
+    fn walls_within_counts_by_distance_to_segment() {
+        let wall = Segment::new(Vec2::new(50.0, 50.0), Vec2::new(60.0, 50.0));
+        let t = Terrain::from_walls(bounds(), vec![wall]);
+        assert_eq!(t.walls_within(Vec2::new(65.0, 50.0), 5.0), 1, "5 from endpoint");
+        assert_eq!(t.walls_within(Vec2::new(55.0, 58.0), 8.5), 1, "8 above midsection");
+        assert_eq!(t.walls_within(Vec2::new(70.0, 50.0), 5.0), 0, "10 from endpoint");
+    }
+
+    #[test]
+    fn manhattan_generation_is_deterministic_and_in_bounds() {
+        let t1 = Terrain::manhattan(bounds(), 200, 10.0, 42);
+        let t2 = Terrain::manhattan(bounds(), 200, 10.0, 42);
+        assert_eq!(t1.wall_count(), 200);
+        assert_eq!(t1.walls(), t2.walls(), "same seed, same walls");
+        let t3 = Terrain::manhattan(bounds(), 200, 10.0, 43);
+        assert_ne!(t1.walls(), t3.walls(), "different seed, different walls");
+        for w in t1.walls() {
+            assert!(bounds().contains(w.a) && bounds().contains(w.b));
+            assert!(w.len() <= 10.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wall_density_scales_count_within() {
+        let sparse = Terrain::manhattan(bounds(), 50, 10.0, 1);
+        let dense = Terrain::manhattan(bounds(), 2000, 10.0, 1);
+        let p = Vec2::new(50.0, 50.0);
+        assert!(dense.walls_within(p, 30.0) > sparse.walls_within(p, 30.0) * 10);
+    }
+}

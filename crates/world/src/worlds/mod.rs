@@ -1,0 +1,51 @@
+//! Concrete game worlds used by the paper's evaluation and examples.
+//!
+//! * [`manhattan`] — **Manhattan People** (Section V): avatars wander a
+//!   walled rectangle, turning 90° whenever they bump into a wall or each
+//!   other. Wall count controls per-action computational complexity; client
+//!   count controls conflict frequency. This synthetic workload generates
+//!   every figure and table of the paper.
+//! * [`dining`] — **Dining Philosophers on the equator** (Section III-E):
+//!   the adversarial workload showing that transitive conflict closures are
+//!   unbounded, and that the Information Bound Model's chain breaking
+//!   restores a bound.
+//! * [`combat`] — a fantasy **combat world** with arrows and the "scrying
+//!   spell" of Sections I and III-B: a heal that targets the most wounded
+//!   ally in a crowd, whose read set no visibility constraint can capture.
+//!   Used to demonstrate the consistency failures of visibility-based
+//!   filtering (Figures 2 and 3).
+//! * [`trade`] — a **trading world** for Section I's financial-transaction
+//!   hazard ("objects being lost or duplicated"): pairwise gold-for-item
+//!   exchanges whose conservation laws are the sharpest consistency probe.
+//!
+//! Each world implements [`crate::action::GameWorld`] plus a
+//! [`Workload`] that generates its representative action stream.
+
+use crate::action::GameWorld;
+use crate::ids::ClientId;
+use crate::state::WorldState;
+
+pub mod combat;
+pub mod dining;
+pub mod manhattan;
+pub mod trade;
+
+/// A source of actions for one world: the traffic model of an experiment.
+///
+/// The harness calls `next_action` whenever a client's move timer fires
+/// (every 300 ms in Table I), handing it the client's *optimistic* view
+/// ζ_CO — clients act on what they currently believe, exactly as real
+/// players do.
+pub trait Workload<W: GameWorld>: Send {
+    /// Produce the next action for `client`. `seq` is the issuer-local
+    /// sequence number the protocol engine will use for the action id;
+    /// `view` is the client's optimistic state; `now_ms` is virtual wall
+    /// time. Returning `None` means the client idles this round.
+    fn next_action(
+        &mut self,
+        client: ClientId,
+        seq: u32,
+        view: &WorldState,
+        now_ms: u64,
+    ) -> Option<W::Action>;
+}

@@ -1,0 +1,139 @@
+//! Client-failure tolerance (Section III-C).
+//!
+//! "The Incomplete World Model ... can be made tolerant of client failures
+//! at a reasonable cost in network bandwidth, by letting each client send
+//! completion messages for every action it applies, not just its own. With
+//! this change, the only case in which the server does not receive a
+//! response to some action is when all clients that evaluate that action
+//! have failed."
+//!
+//! We drive the engines by hand: a client submits a grab, receives it, and
+//! then crashes before (or instead of) anything else happening. Without
+//! redundant completions the install pipeline stalls behind the dead
+//! client's action; with them, a neighbouring replica's completion keeps
+//! ζ_S advancing.
+
+use seve::core::engine::{ClientNode, ServerNode};
+use seve::core::msg::ToServer;
+use seve::core::server::bounded::BoundedServer;
+use seve::core::SeveClient;
+use seve::prelude::*;
+use std::sync::Arc;
+
+fn ring(n: usize) -> Arc<DiningWorld> {
+    Arc::new(DiningWorld::new(DiningConfig {
+        philosophers: n,
+        ..DiningConfig::default()
+    }))
+}
+
+/// Pump one round: the (about-to-fail) client 0 and its neighbour client 1
+/// both submit grabs; the server analyzes and pushes; then client 0
+/// crashes (we discard its batch). Returns how far ζ_S advanced after
+/// client 1 processes its own batch.
+fn run_round(redundant: bool) -> u64 {
+    let world = ring(4);
+    let mut cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    cfg.redundant_completions = redundant;
+    let mut server: BoundedServer<DiningWorld> =
+        BoundedServer::new(Arc::clone(&world), cfg.clone());
+    let mut alive: SeveClient<DiningWorld> =
+        SeveClient::new(ClientId(1), Arc::clone(&world), &cfg);
+
+    let t = SimTime::ZERO;
+    let mut down = Vec::new();
+
+    // Client 0 submits, then crashes. Client 1 (conflicting neighbour —
+    // they share fork 1) submits and stays alive.
+    server.deliver(
+        t,
+        ClientId(0),
+        ToServer::Submit {
+            action: world.grab(ClientId(0), 0),
+        },
+        &mut down,
+    );
+    let mut up = Vec::new();
+    let a1 = world.grab(ClientId(1), 0);
+    alive.submit(t, a1, &mut up);
+    for m in up.drain(..) {
+        server.deliver(t, ClientId(1), m, &mut down);
+    }
+
+    server.tick(SimTime::from_ms(50), &mut down);
+    down.clear();
+    server.push_tick(SimTime::from_ms(60), &mut down);
+
+    // Client 0's batch is lost with the crash. Client 1 processes its own
+    // batch — which, because the grabs conflict, contains BOTH actions.
+    for (dest, msg) in down.drain(..) {
+        if dest == ClientId(1) {
+            let mut up = Vec::new();
+            alive.deliver(SimTime::from_ms(240), msg, &mut up);
+            for m in up {
+                server.deliver(SimTime::from_ms(360), ClientId(1), m, &mut Vec::new());
+            }
+        }
+    }
+    server.last_committed()
+}
+
+#[test]
+fn without_redundant_completions_the_dead_clients_action_stalls() {
+    // Only the issuer completes its own action; client 0 is dead, so
+    // nothing installs past position 0.
+    assert_eq!(run_round(false), 0, "install pipeline stalls");
+}
+
+#[test]
+fn redundant_completions_survive_a_client_crash() {
+    // The surviving neighbour evaluated both actions and completed both:
+    // ζ_S advances through the dead client's action.
+    assert_eq!(run_round(true), 2, "both actions install");
+}
+
+#[test]
+fn crash_mid_run_with_redundancy_keeps_the_rest_of_the_world_consistent() {
+    // Full-harness version: run the dining ring with redundant completions
+    // where one philosopher only ever submits a single grab (an effective
+    // early crash of its workload) — everything still commits and every
+    // replica agrees.
+    struct OneShotThenSilent {
+        inner: DiningWorkload,
+    }
+    impl Workload<DiningWorld> for OneShotThenSilent {
+        fn next_action(
+            &mut self,
+            client: ClientId,
+            seq: u32,
+            view: &WorldState,
+            now_ms: u64,
+        ) -> Option<<DiningWorld as GameWorld>::Action> {
+            if client == ClientId(0) && seq >= 1 {
+                return None; // client 0 goes silent after one action
+            }
+            self.inner.next_action(client, seq, view, now_ms)
+        }
+    }
+
+    let world = ring(8);
+    let mut cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    cfg.redundant_completions = true;
+    let suite = SeveSuite::new(cfg);
+    let mut wl = OneShotThenSilent {
+        inner: DiningWorkload::new(&world),
+    };
+    let sim = SimConfig {
+        moves_per_client: 12,
+        ..SimConfig::default()
+    };
+    let r = Simulation::new(world, &suite, sim).run(&mut wl);
+    assert_eq!(r.violations, 0);
+    assert!(
+        r.server.installed + r.dropped >= r.submitted,
+        "every submitted action resolves despite the silent client: {} + {} vs {}",
+        r.server.installed,
+        r.dropped,
+        r.submitted
+    );
+}

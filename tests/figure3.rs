@@ -1,0 +1,150 @@
+//! The Figure 3 causality chain, scripted.
+//!
+//! "Consider the case when entity C shoots an arrow at entity B at time
+//! t = 0, and entity B shoots at entity A at time t = ∆ ... entity B
+//! should die before it actually shot the arrow. However ... the client
+//! with entity A ... subsequently announces entity A to be dead. The
+//! client with entity A could have determined entity B's death only if it
+//! also knew that entity C had shot entity B."
+//!
+//! We drive the combat engines directly: C's kill-shot on B serializes
+//! before B's shot on A, so B's shot must evaluate as a no-op ("a dead
+//! archer fires nothing") on every replica — including A's, which cannot
+//! see C. SEVE delivers the causal support; RING does not.
+
+use seve::core::engine::{ClientNode, ServerNode};
+use seve::core::server::bounded::BoundedServer;
+use seve::core::SeveClient;
+use seve::prelude::*;
+use seve::world::worlds::combat::{CombatAction, HP};
+use seve::baselines::ring::RingServer;
+use std::sync::Arc;
+
+/// Three combatants in a row: A at x=0, B at x=130, C at x=260. With a
+/// RING visibility of 150, A↔B and B↔C see each other but A cannot see C.
+/// One arrow kills (damage 100).
+fn arena() -> Arc<CombatWorld> {
+    Arc::new(CombatWorld::new(CombatConfig {
+        clients: 3,
+        width: 400.0,
+        height: 100.0,
+        arrow_range: 150.0,
+        arrow_damage: 100, // one-shot kills: B dies instantly
+        spawn_positions: Some(vec![(0.0, 50.0), (130.0, 50.0), (260.0, 50.0)]),
+        ..CombatConfig::default()
+    }))
+}
+
+/// Build the two shots from per-client views of `setup`: C kills B, then B
+/// shoots A.
+fn shots(world: &CombatWorld, setup: &WorldState) -> (CombatAction, CombatAction) {
+    let c_shoots_b = world
+        .shoot(ClientId(2), 0, ObjectId(1), setup)
+        .expect("C targets B");
+    let b_shoots_a = world
+        .shoot(ClientId(1), 0, ObjectId(0), setup)
+        .expect("B targets A");
+    (c_shoots_b, b_shoots_a)
+}
+
+#[test]
+fn seve_preserves_the_arrow_causality() {
+    let world = arena();
+    let setup = world.initial_state();
+    let (c_shot, b_shot) = shots(&world, &setup);
+
+    // Drive a bounded server and client A by hand. All replicas bootstrap
+    // from the same scripted arena.
+    let cfg = ProtocolConfig::with_mode(ServerMode::FirstBound);
+    let mut server: BoundedServer<CombatWorld> =
+        BoundedServer::new(Arc::clone(&world), cfg.clone());
+    let mut client_a: SeveClient<CombatWorld> =
+        SeveClient::new(ClientId(0), Arc::clone(&world), &cfg);
+
+    let t = SimTime::ZERO;
+    let mut down = Vec::new();
+    // C's kill-shot arrives first, B's shot second: positions 1 and 2.
+    server.deliver(t, ClientId(2), seve::core::msg::ToServer::Submit { action: c_shot.clone() }, &mut down);
+    server.deliver(t, ClientId(1), seve::core::msg::ToServer::Submit { action: b_shot.clone() }, &mut down);
+    assert!(down.is_empty());
+    server.push_tick(SimTime::from_ms(60), &mut down);
+
+    // A is within B's arrow influence, so A receives a batch. The batch
+    // must ALSO carry C's shot — the transitive support A needs even
+    // though A cannot see C.
+    let (dest, batch) = down
+        .iter()
+        .find(|(c, m)| *c == ClientId(0) && matches!(m, seve::core::msg::ToClient::Batch { .. }))
+        .expect("A receives a batch");
+    assert_eq!(*dest, ClientId(0));
+    let seve::core::msg::ToClient::Batch { items } = batch else {
+        unreachable!()
+    };
+    let actions: Vec<u64> = items
+        .iter()
+        .filter(|i| matches!(i.payload, seve::core::msg::Payload::Action(_)))
+        .map(|i| i.pos)
+        .collect();
+    assert_eq!(actions, vec![1, 2], "C's shot must precede B's in A's batch");
+
+    // Apply the batch at client A: B dies at pos 1, so B's shot at pos 2
+    // evaluates as a no-op and A survives.
+    let mut up = Vec::new();
+    client_a.deliver(SimTime::from_ms(300), batch.clone(), &mut up);
+    let a_hp = client_a
+        .stable()
+        .attr(ObjectId(0), HP)
+        .and_then(|v| v.as_i64())
+        .expect("A's hp");
+    assert_eq!(a_hp, 100, "A must survive: B was dead before firing");
+    let b_hp = client_a
+        .stable()
+        .attr(ObjectId(1), HP)
+        .and_then(|v| v.as_i64())
+        .expect("B's hp");
+    assert_eq!(b_hp, 0, "A learned of B's death through the causal chain");
+}
+
+#[test]
+fn ring_breaks_the_arrow_causality() {
+    let world = arena();
+    let setup = world.initial_state();
+    let (c_shot, b_shot) = shots(&world, &setup);
+
+    let cfg = ProtocolConfig::with_mode(ServerMode::Incomplete);
+    let mut server: RingServer<CombatWorld> =
+        RingServer::new(Arc::clone(&world), cfg.clone(), 150.0);
+    let mut client_a: SeveClient<CombatWorld> =
+        SeveClient::new(ClientId(0), Arc::clone(&world), &cfg);
+
+    let t = SimTime::ZERO;
+    let mut down = Vec::new();
+    server.deliver(t, ClientId(2), seve::core::msg::ToServer::Submit { action: c_shot }, &mut down);
+    server.deliver(t, ClientId(1), seve::core::msg::ToServer::Submit { action: b_shot }, &mut down);
+    server.push_tick(SimTime::from_ms(60), &mut down);
+
+    // RING forwards B's shot to A (A sees B) but NOT C's shot (A cannot
+    // see C, and RING does no causal analysis).
+    let batches_to_a: Vec<_> = down
+        .iter()
+        .filter(|(c, m)| *c == ClientId(0) && matches!(m, seve::core::msg::ToClient::Batch { .. }))
+        .collect();
+    assert_eq!(batches_to_a.len(), 1);
+    let seve::core::msg::ToClient::Batch { items } = &batches_to_a[0].1 else {
+        unreachable!()
+    };
+    assert_eq!(items.len(), 1, "only B's shot — the causal support is missing");
+
+    let mut up = Vec::new();
+    client_a.deliver(SimTime::from_ms(300), batches_to_a[0].1.clone(), &mut up);
+    let a_hp = client_a
+        .stable()
+        .attr(ObjectId(0), HP)
+        .and_then(|v| v.as_i64())
+        .expect("A's hp");
+    assert_eq!(
+        a_hp, 0,
+        "RING wrongly announces A dead: it evaluated B's shot without \
+         knowing B was already dead"
+    );
+}

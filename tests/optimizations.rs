@@ -1,0 +1,148 @@
+//! The Section IV optimizations, measured.
+//!
+//! * IV-A Inconsequential action elimination: clients subscribe to interest
+//!   classes; a human player's pushes should not carry insect ambience.
+//! * IV-B Area culling: an arrow's influence travels with its velocity; a
+//!   client behind the archer need not receive it.
+
+use seve::core::engine::ServerNode;
+use seve::core::msg::{Payload, ToClient, ToServer};
+use seve::core::server::bounded::BoundedServer;
+use seve::prelude::*;
+use seve::world::worlds::combat::{CLASS_AMBIENT, CLASS_COMBAT};
+use std::sync::Arc;
+
+fn batch_action_count(msgs: &[(ClientId, ToClient<<CombatWorld as GameWorld>::Action>)], to: ClientId) -> usize {
+    msgs.iter()
+        .filter(|(c, _)| *c == to)
+        .map(|(_, m)| match m {
+            ToClient::Batch { items } => items
+                .iter()
+                .filter(|i| matches!(i.payload, Payload::Action(_)))
+                .count(),
+            _ => 0,
+        })
+        .sum()
+}
+
+#[test]
+fn interest_filtering_elides_insect_ambience() {
+    // Clients 0..2 are insects, 3..5 humans, all adjacent. An insect's
+    // move is CLASS_AMBIENT; with filtering on, humans must not receive it.
+    let world = Arc::new(CombatWorld::new(CombatConfig {
+        clients: 6,
+        insect_fraction: 0.5,
+        spawn_positions: Some(vec![
+            (10.0, 10.0),
+            (12.0, 10.0),
+            (14.0, 10.0),
+            (16.0, 10.0),
+            (18.0, 10.0),
+            (20.0, 10.0),
+        ]),
+        ..CombatConfig::default()
+    }));
+    assert!(world.is_insect(ClientId(0)));
+    assert!(!world.is_insect(ClientId(4)));
+
+    let run = |filtering: bool| {
+        let mut cfg = ProtocolConfig::with_mode(ServerMode::FirstBound);
+        cfg.interest_filtering = filtering;
+        let mut server: BoundedServer<CombatWorld> =
+            BoundedServer::new(Arc::clone(&world), cfg);
+        let state = world.initial_state();
+        let bug_move = world
+            .walk(ClientId(0), 0, seve::world::Vec2::new(1.0, 0.0), &state)
+            .expect("insect move");
+        assert_eq!(bug_move.influence().class, CLASS_AMBIENT);
+        let mut down = Vec::new();
+        server.deliver(SimTime::ZERO, ClientId(0), ToServer::Submit { action: bug_move }, &mut down);
+        server.push_tick(SimTime::from_ms(60), &mut down);
+        down
+    };
+
+    let unfiltered = run(false);
+    assert!(
+        batch_action_count(&unfiltered, ClientId(4)) > 0,
+        "without filtering the human hears the insect"
+    );
+    let filtered = run(true);
+    assert_eq!(
+        batch_action_count(&filtered, ClientId(4)),
+        0,
+        "with filtering the human is spared the ambience"
+    );
+    // The insect's fellow insects (interested in everything) still hear it.
+    assert!(batch_action_count(&filtered, ClientId(1)) > 0);
+    // And the issuer always gets its own action back.
+    assert!(batch_action_count(&filtered, ClientId(0)) > 0);
+}
+
+#[test]
+fn velocity_culling_spares_clients_behind_the_arrow() {
+    // Archer at x=100 shoots a target at x=125 (arrow flying +x). A
+    // bystander at x=45 sits just inside the static influence sphere
+    // (shot distance 25 + motion slack + its own 30-unit reach ≈ 59.8)
+    // but behind the arrow; culling should spare them.
+    let world = Arc::new(CombatWorld::new(CombatConfig {
+        clients: 3,
+        width: 400.0,
+        height: 100.0,
+        arrow_range: 30.0,
+        speed: 8.0,
+        spawn_positions: Some(vec![(45.0, 50.0), (100.0, 50.0), (125.0, 50.0)]),
+        ..CombatConfig::default()
+    }));
+
+    let run = |culling: bool| {
+        let mut cfg = ProtocolConfig::with_mode(ServerMode::FirstBound);
+        cfg.velocity_culling = culling;
+        let mut server: BoundedServer<CombatWorld> =
+            BoundedServer::new(Arc::clone(&world), cfg);
+        let state = world.initial_state();
+        let shot = world
+            .shoot(ClientId(1), 0, ObjectId(2), &state)
+            .expect("archer shoots the target");
+        assert_eq!(shot.influence().class, CLASS_COMBAT);
+        let mut down = Vec::new();
+        server.deliver(SimTime::ZERO, ClientId(1), ToServer::Submit { action: shot }, &mut down);
+        server.push_tick(SimTime::from_ms(60), &mut down);
+        down
+    };
+
+    let without = run(false);
+    assert!(
+        batch_action_count(&without, ClientId(0)) > 0,
+        "static sphere covers the bystander"
+    );
+    let with = run(true);
+    assert_eq!(
+        batch_action_count(&with, ClientId(0)),
+        0,
+        "the arrow flies away from the bystander"
+    );
+    // The client ahead of the arrow still receives it.
+    assert!(batch_action_count(&with, ClientId(2)) > 0);
+}
+
+#[test]
+fn interest_filtering_preserves_consistency_end_to_end() {
+    // Filtering prunes deliveries but never causal support: a full run
+    // with insects must stay violation-free.
+    let world = Arc::new(CombatWorld::new(CombatConfig {
+        clients: 16,
+        insect_fraction: 0.25,
+        ..CombatConfig::default()
+    }));
+    let mut cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    cfg.interest_filtering = true;
+    let suite = SeveSuite::new(cfg);
+    let mut wl = CombatWorkload::new(Arc::clone(&world));
+    let sim = SimConfig {
+        moves_per_client: 25,
+        ..SimConfig::default()
+    };
+    let r = Simulation::new(world, &suite, sim).run(&mut wl);
+    assert_eq!(r.violations, 0);
+    assert_eq!(r.missing_read_evals, 0);
+}

@@ -1,0 +1,86 @@
+//! The financial-transaction hazard of Section I, end to end: "objects
+//! being lost or duplicated during a financial transaction."
+//!
+//! The trading world's conservation laws (total gold and total items are
+//! invariant) hold on every SEVE replica; the unsynchronized Broadcast
+//! model's replicas break them under contention.
+
+use seve::prelude::*;
+use std::sync::Arc;
+
+fn market() -> Arc<TradeWorld> {
+    Arc::new(TradeWorld::new(TradeConfig {
+        traders: 12,
+        starting_items: 2, // scarce stock: plenty of conflicting buys
+        ..TradeConfig::default()
+    }))
+}
+
+fn sim(moves: u32) -> SimConfig {
+    SimConfig {
+        moves_per_client: moves,
+        stagger: false, // synchronized buying frenzies maximize contention
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn seve_conserves_gold_and_items_on_every_replica() {
+    let world = market();
+    let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound));
+    let mut wl = TradeWorkload::new(Arc::clone(&world));
+    let r = Simulation::new(Arc::clone(&world), &suite, sim(25)).run(&mut wl);
+    assert_eq!(r.violations, 0);
+    // Every stable replica and the authoritative state conserve.
+    // (Digests equal across replicas would be too strong — incomplete
+    // views — but the conservation check needs per-replica states, which
+    // the harness exposes as digests; instead verify ζ_S directly through
+    // a serial replay equivalence: basic mode below.)
+    assert!(r.server.installed > 0);
+
+    // The strongest check: basic mode (complete replicas) over the same
+    // workload conserves on every replica byte-for-byte.
+    let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic));
+    let mut wl = TradeWorkload::new(Arc::clone(&world));
+    let basic = Simulation::new(Arc::clone(&world), &suite, sim(25)).run(&mut wl);
+    assert_eq!(basic.violations, 0);
+    assert!(
+        basic.stable_digests.windows(2).all(|w| w[0] == w[1]),
+        "complete replicas identical"
+    );
+}
+
+#[test]
+fn broadcast_duplicates_items_under_contention() {
+    // Same market, same frenzy, no serialization-and-reconcile: issuers
+    // apply their own trades against stale local state and replicas
+    // diverge — the oracle sees it, and conservation breaks somewhere.
+    let world = market();
+    let suite = BroadcastSuite::default();
+    let mut wl = TradeWorkload::new(Arc::clone(&world));
+    let r = Simulation::new(Arc::clone(&world), &suite, sim(25)).run(&mut wl);
+    assert!(
+        r.violations > 0,
+        "unsynchronized trading must diverge, got {} violations",
+        r.violations
+    );
+}
+
+#[test]
+fn seve_trade_responses_stay_bounded_under_total_contention() {
+    // Trades reach across the whole market (influence = ring diameter), so
+    // every pair conflicts — the worst case for the closure machinery. The
+    // response bound must still hold.
+    let world = market();
+    let cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    let bound = cfg.response_bound_ms();
+    let suite = SeveSuite::new(cfg);
+    let mut wl = TradeWorkload::new(Arc::clone(&world));
+    let r = Simulation::new(Arc::clone(&world), &suite, sim(20)).run(&mut wl);
+    assert!(
+        r.response_ms.mean() < bound + 150.0,
+        "mean response {} vs bound {}",
+        r.response_ms.mean(),
+        bound
+    );
+}
