@@ -272,7 +272,9 @@ mod tests {
     use super::*;
     use seve_world::worlds::dining::{DiningConfig, DiningWorld};
 
-    fn setup(n: usize) -> (
+    fn setup(
+        n: usize,
+    ) -> (
         Arc<DiningWorld>,
         BroadcastServer<DiningWorld>,
         Vec<BroadcastClient<DiningWorld>>,
@@ -304,19 +306,28 @@ mod tests {
         let c_cost = clients[0].submit(SimTime::ZERO, world.grab(ClientId(0), 0), &mut up);
         assert!(c_cost > 0, "issuer simulates its own action");
         // Issuer's fork is taken locally at once.
-        let held = clients[0]
-            .state
-            .attr(seve_world::worlds::dining::fork(0, 4), seve_world::worlds::dining::HOLDER);
+        let held = clients[0].state.attr(
+            seve_world::worlds::dining::fork(0, 4),
+            seve_world::worlds::dining::HOLDER,
+        );
         assert_eq!(held, Some(0i64.into()));
         let mut down = Vec::new();
         server.deliver(SimTime::ZERO, ClientId(0), up.pop().unwrap(), &mut down);
         // A receiver pays evaluation cost and records for the oracle.
-        let (_, msg) = down.iter().find(|(c, _)| *c == ClientId(1)).cloned().unwrap();
+        let (_, msg) = down
+            .iter()
+            .find(|(c, _)| *c == ClientId(1))
+            .cloned()
+            .unwrap();
         let r_cost = clients[1].deliver(SimTime::from_ms(1), msg, &mut Vec::new());
         assert!(r_cost > 0);
         assert_eq!(clients[1].metrics().eval_records.len(), 1);
         // The echo to the issuer records response and costs nothing more.
-        let (_, echo) = down.iter().find(|(c, _)| *c == ClientId(0)).cloned().unwrap();
+        let (_, echo) = down
+            .iter()
+            .find(|(c, _)| *c == ClientId(0))
+            .cloned()
+            .unwrap();
         let e_cost = clients[0].deliver(SimTime::from_ms(238), echo, &mut Vec::new());
         assert_eq!(e_cost, 0);
         assert_eq!(clients[0].metrics().response_ms.count(), 1);
@@ -331,8 +342,12 @@ mod tests {
         clients[0].submit(SimTime::ZERO, world.grab(ClientId(0), 0), &mut Vec::new());
         clients[1].submit(SimTime::ZERO, world.grab(ClientId(1), 0), &mut Vec::new());
         let f1 = seve_world::worlds::dining::fork(1, 4);
-        let h0 = clients[0].state.attr(f1, seve_world::worlds::dining::HOLDER);
-        let h1 = clients[1].state.attr(f1, seve_world::worlds::dining::HOLDER);
+        let h0 = clients[0]
+            .state
+            .attr(f1, seve_world::worlds::dining::HOLDER);
+        let h1 = clients[1]
+            .state
+            .attr(f1, seve_world::worlds::dining::HOLDER);
         assert_eq!(h0, Some(0i64.into()));
         assert_eq!(h1, Some(1i64.into()), "replicas disagree about fork 1");
     }

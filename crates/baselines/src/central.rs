@@ -130,9 +130,7 @@ impl<W: GameWorld> ClientNode<W> for CentralClient<W> {
         self.view.apply_writes(&msg.writes);
         if msg.cause.client == self.id {
             if let Some(t) = self.submit_times.remove(&msg.cause.seq) {
-                self.metrics
-                    .response_ms
-                    .record((now - t).as_ms_f64());
+                self.metrics.response_ms.record((now - t).as_ms_f64());
             }
         }
         self.metrics.compute_us += self.cfg.apply_cost_us;
@@ -307,10 +305,8 @@ mod tests {
             ..ManhattanConfig::default()
         }));
         let suite = CentralSuite::default();
-        let (server, clients) = <CentralSuite as ProtocolSuite<ManhattanWorld>>::build(
-            &suite,
-            Arc::clone(&world),
-        );
+        let (server, clients) =
+            <CentralSuite as ProtocolSuite<ManhattanWorld>>::build(&suite, Arc::clone(&world));
         (world, server, clients)
     }
 
@@ -348,7 +344,12 @@ mod tests {
         let mut up = Vec::new();
         clients[1].submit(SimTime::ZERO, action, &mut up);
         let mut down = Vec::new();
-        server.deliver(SimTime::from_ms(119), ClientId(1), up.pop().unwrap(), &mut down);
+        server.deliver(
+            SimTime::from_ms(119),
+            ClientId(1),
+            up.pop().unwrap(),
+            &mut down,
+        );
         let (_, msg) = down
             .iter()
             .find(|(c, _)| *c == ClientId(1))
@@ -381,6 +382,9 @@ mod tests {
         clients[0].submit(SimTime::ZERO, action, &mut up);
         let mut down = Vec::new();
         server.deliver(SimTime::ZERO, ClientId(0), up.pop().unwrap(), &mut down);
-        assert!(down.iter().all(|(c, _)| *c == ClientId(0)), "500 apart ≫ 30");
+        assert!(
+            down.iter().all(|(c, _)| *c == ClientId(0)),
+            "500 apart ≫ 30"
+        );
     }
 }

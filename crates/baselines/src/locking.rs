@@ -386,7 +386,9 @@ mod tests {
     use super::*;
     use seve_world::worlds::dining::{DiningConfig, DiningWorld};
 
-    fn setup(n: usize) -> (
+    fn setup(
+        n: usize,
+    ) -> (
         Arc<DiningWorld>,
         LockingServer<DiningWorld>,
         Vec<LockingClient<DiningWorld>>,
@@ -426,7 +428,12 @@ mod tests {
         assert!(down.is_empty(), "conflicting txn blocked");
         // Philosopher 0 executes and publishes: locks release, 1 granted.
         clients[0].deliver(SimTime::from_ms(238), grant0, &mut up);
-        server.deliver(SimTime::from_ms(300), ClientId(0), up.pop().unwrap(), &mut down);
+        server.deliver(
+            SimTime::from_ms(300),
+            ClientId(0),
+            up.pop().unwrap(),
+            &mut down,
+        );
         let grants: Vec<_> = down
             .iter()
             .filter(|(_, m)| matches!(m, LockDown::Grant { .. }))
@@ -457,7 +464,10 @@ mod tests {
         // granting 2 would starve 1.
         clients[2].submit(SimTime::ZERO, world.grab(ClientId(2), 0), &mut up);
         server.deliver(SimTime::ZERO, ClientId(2), up.pop().unwrap(), &mut down);
-        assert!(down.is_empty(), "younger conflicting txn must not jump the queue");
+        assert!(
+            down.is_empty(),
+            "younger conflicting txn must not jump the queue"
+        );
         // 3 wants forks 3, 0 — fork 0 held by txn 0. Waits too.
         clients[3].submit(SimTime::ZERO, world.grab(ClientId(3), 0), &mut up);
         server.deliver(SimTime::ZERO, ClientId(3), up.pop().unwrap(), &mut down);

@@ -20,7 +20,7 @@ use seve_core::config::{ProtocolConfig, ServerMode};
 use seve_core::engine::{ProtocolSuite, ServerNode};
 use seve_core::metrics::ServerMetrics;
 use seve_core::msg::{Item, ToClient, ToServer};
-use seve_core::server::common::ServerBase;
+use seve_core::pipeline::{ingress, serialize, PipelineState};
 use seve_net::time::{SimDuration, SimTime};
 use seve_world::geometry::Vec2;
 use seve_world::ids::{ClientId, QueuePos};
@@ -30,7 +30,7 @@ use std::sync::Arc;
 
 /// The visibility-filtering server.
 pub struct RingServer<W: GameWorld> {
-    base: ServerBase<W>,
+    base: PipelineState<W>,
     /// Avatar visibility radius (Table I: 30 units).
     visibility: f64,
     client_pos: Vec<Vec2>,
@@ -51,7 +51,7 @@ impl<W: GameWorld> RingServer<W> {
             })
             .collect();
         Self {
-            base: ServerBase::new(world, cfg),
+            base: PipelineState::new(world, cfg),
             visibility,
             client_pos,
             last_push_pos: vec![0; n],
@@ -73,7 +73,7 @@ impl<W: GameWorld> ServerNode<W> for RingServer<W> {
         match msg {
             ToServer::Submit { action } => {
                 self.client_pos[from.index()] = action.influence().center;
-                self.base.enqueue(now, action);
+                ingress::admit(&mut self.base, now, action);
                 let cost = self.base.cfg.msg_cost_us;
                 self.base.metrics.compute_us += cost;
                 cost
@@ -84,8 +84,8 @@ impl<W: GameWorld> ServerNode<W> for RingServer<W> {
                 writes,
                 aborted,
             } => {
-                self.base.on_completion(pos, writes, aborted);
-                self.base.maybe_gc_notice(out);
+                serialize::on_completion(&mut self.base, pos, writes, aborted);
+                serialize::maybe_gc_notice(&mut self.base, out);
                 let cost = self.base.cfg.msg_cost_us;
                 self.base.metrics.compute_us += cost;
                 cost
@@ -119,8 +119,7 @@ impl<W: GameWorld> ServerNode<W> for RingServer<W> {
                 let own = e.action.issuer() == client;
                 // The RING test: can this client SEE the issuer? Purely
                 // syntactic — no reasoning about what the action reads.
-                let visible =
-                    e.influence.center.dist(self.client_pos[i]) <= self.visibility;
+                let visible = e.influence.center.dist(self.client_pos[i]) <= self.visibility;
                 if own || visible {
                     items.push(Item::action(pos, e.action.clone()));
                     self.base
@@ -235,7 +234,11 @@ mod tests {
         assert!(down.is_empty(), "no immediate replies");
         server.push_tick(SimTime::from_ms(60), &mut down);
         let receivers: Vec<ClientId> = down.iter().map(|(c, _)| *c).collect();
-        assert_eq!(receivers, vec![ClientId(0)], "only the issuer; others are blind");
+        assert_eq!(
+            receivers,
+            vec![ClientId(0)],
+            "only the issuer; others are blind"
+        );
     }
 
     #[test]

@@ -107,12 +107,12 @@ impl WireSize for TsDown {
     fn wire_bytes(&self) -> u32 {
         match self {
             TsDown::Commit { .. } => 1 + 6 + 4 + 8,
-            TsDown::Abort { fresh, versions, .. } => {
-                1 + 6 + 4 + fresh.wire_bytes() + versions.len() as u32 * 12
-            }
-            TsDown::Update { writes, versions, .. } => {
-                1 + 8 + 6 + writes.wire_bytes() + versions.len() as u32 * 12
-            }
+            TsDown::Abort {
+                fresh, versions, ..
+            } => 1 + 6 + 4 + fresh.wire_bytes() + versions.len() as u32 * 12,
+            TsDown::Update {
+                writes, versions, ..
+            } => 1 + 8 + 6 + writes.wire_bytes() + versions.len() as u32 * 12,
         }
     }
 }
@@ -404,7 +404,9 @@ mod tests {
     use super::*;
     use seve_world::worlds::dining::{DiningConfig, DiningWorld, HOLDER};
 
-    fn setup(n: usize) -> (
+    fn setup(
+        n: usize,
+    ) -> (
         Arc<DiningWorld>,
         TimestampServer<DiningWorld>,
         Vec<TimestampClient<DiningWorld>>,
@@ -454,11 +456,18 @@ mod tests {
         clients[1].deliver(SimTime::from_ms(238), abort, &mut retry);
         assert_eq!(retry.len(), 1);
         let mut down2 = Vec::new();
-        server.deliver(SimTime::from_ms(240), ClientId(1), retry.pop().unwrap(), &mut down2);
+        server.deliver(
+            SimTime::from_ms(240),
+            ClientId(1),
+            retry.pop().unwrap(),
+            &mut down2,
+        );
         assert!(matches!(down2[0].1, TsDown::Commit { .. }));
         // The no-op retry wrote nothing: fork 1 still belongs to 0.
         assert_eq!(
-            server.state.attr(seve_world::worlds::dining::fork(1, 4), HOLDER),
+            server
+                .state
+                .attr(seve_world::worlds::dining::fork(1, 4), HOLDER),
             Some(0i64.into())
         );
         assert_eq!(server.metrics().drops, 1, "one abort recorded");

@@ -11,7 +11,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seve_core::closure::{analyze_new_actions, closure_for, ActionQueue};
 use seve_net::time::SimTime;
 use seve_world::ids::ClientId;
-use seve_world::worlds::manhattan::{ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern};
+use seve_world::worlds::manhattan::{
+    ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern,
+};
 use seve_world::worlds::Workload;
 use seve_world::GameWorld;
 use std::sync::Arc;
@@ -35,9 +37,7 @@ fn queue_of(len: usize) -> (Arc<ManhattanWorld>, Queue) {
     let mut seqs = vec![0u32; clients];
     for i in 0..len {
         let c = ClientId((i % clients) as u16);
-        let a = wl
-            .next_action(c, seqs[c.index()], &state, 0)
-            .expect("move");
+        let a = wl.next_action(c, seqs[c.index()], &state, 0).expect("move");
         seqs[c.index()] += 1;
         // Advance the shared state so successive moves differ.
         let out = seve_world::Action::evaluate(&a, world.env(), &state);
@@ -50,20 +50,22 @@ fn queue_of(len: usize) -> (Arc<ManhattanWorld>, Queue) {
 fn bench_closure(c: &mut Criterion) {
     let mut g = c.benchmark_group("closure");
     for &len in &[16usize, 64, 128, 256] {
-        g.bench_with_input(BenchmarkId::new("algorithm6_single_move", len), &len, |b, &len| {
-            let (_world, queue) = queue_of(len);
-            let last = queue.last_pos().unwrap();
-            b.iter_batched(
-                || {
-                    // Fresh sent-bits each iteration: clone the queue.
-                    clone_queue(&queue)
-                },
-                |mut q| {
-                    std::hint::black_box(closure_for(&mut q, ClientId(0), &[last]))
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("algorithm6_single_move", len),
+            &len,
+            |b, &len| {
+                let (_world, queue) = queue_of(len);
+                let last = queue.last_pos().unwrap();
+                b.iter_batched(
+                    || {
+                        // Fresh sent-bits each iteration: clone the queue.
+                        clone_queue(&queue)
+                    },
+                    |mut q| std::hint::black_box(closure_for(&mut q, ClientId(0), &[last])),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
         g.bench_with_input(BenchmarkId::new("algorithm7_tick", len), &len, |b, &len| {
             let (_world, queue) = queue_of(len);
             b.iter_batched(

@@ -6,11 +6,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use seve_core::config::{ProtocolConfig, ServerMode};
 use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode};
-use seve_core::server::{AnySeveServer, SeveSuite};
+use seve_core::pipeline::PipelineServer;
+use seve_core::server::SeveSuite;
 use seve_core::SeveClient;
 use seve_net::time::SimTime;
 use seve_world::ids::ClientId;
-use seve_world::worlds::manhattan::{ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern};
+use seve_world::worlds::manhattan::{
+    ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern,
+};
 use seve_world::worlds::Workload;
 use seve_world::GameWorld;
 use std::sync::Arc;
@@ -48,11 +51,15 @@ fn bench_client_submit(c: &mut Criterion) {
 
 fn bench_server_modes(c: &mut Criterion) {
     let mut g = c.benchmark_group("server_submission");
-    for mode in [ServerMode::Basic, ServerMode::Incomplete, ServerMode::InfoBound] {
+    for mode in [
+        ServerMode::Basic,
+        ServerMode::Incomplete,
+        ServerMode::InfoBound,
+    ] {
         g.bench_function(mode.name(), |b| {
             let world = world();
             let suite = SeveSuite::new(ProtocolConfig::with_mode(mode));
-            let (mut server, _clients): (AnySeveServer<ManhattanWorld>, _) =
+            let (mut server, _clients): (PipelineServer<ManhattanWorld>, _) =
                 suite.build(Arc::clone(&world));
             let mut wl = ManhattanWorkload::new(&world);
             let state = world.initial_state();
@@ -110,5 +117,10 @@ fn bench_push_cycle(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_client_submit, bench_server_modes, bench_push_cycle);
+criterion_group!(
+    benches,
+    bench_client_submit,
+    bench_server_modes,
+    bench_push_cycle
+);
 criterion_main!(benches);

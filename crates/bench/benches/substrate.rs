@@ -85,11 +85,7 @@ fn bench_spatial(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(grid.count_within(center, r)))
         });
         g.bench_with_input(BenchmarkId::new("brute_force", r as u32), &r, |b, &r| {
-            b.iter(|| {
-                std::hint::black_box(
-                    pts.iter().filter(|p| p.dist2(center) <= r * r).count(),
-                )
-            })
+            b.iter(|| std::hint::black_box(pts.iter().filter(|p| p.dist2(center) <= r * r).count()))
         });
     }
     g.finish();
@@ -109,5 +105,11 @@ fn bench_terrain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_state, bench_objset, bench_spatial, bench_terrain);
+criterion_group!(
+    benches,
+    bench_state,
+    bench_objset,
+    bench_spatial,
+    bench_terrain
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! suitable for diffing against `EXPERIMENTS.md`.
 
 use seve_sim::experiment::{self, Scale};
-use seve_sim::report::render_settings;
+use seve_sim::report::{render_settings, render_stage_profile};
 use std::io::Write as _;
 
 fn main() {
@@ -22,8 +22,16 @@ fn main() {
         .map(String::as_str)
         .collect();
     const KNOWN: [&str; 10] = [
-        "all", "table1", "fig6", "fig7", "fig8", "fig9", "fig10", "table2",
-        "capacity", "ablations",
+        "all",
+        "table1",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table2",
+        "capacity",
+        "ablations",
     ];
     if let Some(bad) = what.iter().find(|w| !KNOWN.contains(w)) {
         eprintln!("unknown experiment '{bad}'");
@@ -52,6 +60,18 @@ fn main() {
         if want("fig9") {
             let _ = writeln!(out, "{}", experiment::fig9_from_sweep(&sweep).render());
         }
+        // Wall-clock stage timings of the largest SEVE run. Host-dependent
+        // diagnostics go to stderr so the figure output stays byte-stable.
+        if let Some((name, n, r)) = sweep
+            .iter()
+            .filter(|(name, _, _)| name == "SEVE")
+            .max_by_key(|(_, n, _)| *n)
+        {
+            eprint!(
+                "{}",
+                render_stage_profile(&format!("{name} @ {n} clients"), &r.server.stage)
+            );
+        }
     }
     if want("fig7") {
         let _ = writeln!(out, "{}", experiment::fig7(scale).render());
@@ -68,7 +88,11 @@ fn main() {
     if want("ablations") {
         let _ = writeln!(out, "{}", experiment::ablation_omega(scale).render());
         let _ = writeln!(out, "{}", experiment::ablation_threshold(scale).render());
-        let _ = writeln!(out, "{}", experiment::ablation_optimizations(scale).render());
+        let _ = writeln!(
+            out,
+            "{}",
+            experiment::ablation_optimizations(scale).render()
+        );
         let _ = writeln!(out, "{}", experiment::ring_inconsistency(scale).render());
     }
     if want("capacity") {

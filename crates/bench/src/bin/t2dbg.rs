@@ -22,14 +22,23 @@ fn world(spacing: f64, vis: f64, range: f64, cost: u64) -> Arc<ManhattanWorld> {
 }
 
 fn main() {
-    let args: Vec<f64> = std::env::args().skip(1).map(|a| a.parse().unwrap()).collect();
+    let args: Vec<f64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap())
+        .collect();
     let (range, cost, thr) = (args[0], args[1] as u64, args[2]);
     println!("range {range} cost {cost} threshold {thr}");
-    println!("{:>8} {:>8} {:>10} {:>10} {:>8} {:>8}", "spacing", "visible", "drop_ms", "naive_ms", "drop%", "violations");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "spacing", "visible", "drop_ms", "naive_ms", "drop%", "violations"
+    );
     for spacing in [20.0, 16.0, 13.0, 11.0, 9.0, 8.0, 7.0, 6.0, 5.0] {
         let w = world(spacing, 30.0, range, cost);
         let visible = w.avg_visible(&w.initial_state(), 30.0);
-        let sim = SimConfig { moves_per_client: 60, ..Default::default() };
+        let sim = SimConfig {
+            moves_per_client: 60,
+            ..Default::default()
+        };
         let mut proto = paper_protocol(ServerMode::InfoBound);
         proto.threshold = thr;
         proto.interest_radius_override = Some(30.0);
@@ -38,8 +47,13 @@ fn main() {
         let rn = run_seve(&w, ServerMode::FirstBound, proto, &sim);
         println!(
             "{:>8.1} {:>8.2} {:>10.1} {:>10.1} {:>8.2} {:>5}/{:<5}",
-            spacing, visible, rd.response_ms.mean(), rn.response_ms.mean(),
-            rd.drop_percent(), rd.violations, rn.violations
+            spacing,
+            visible,
+            rd.response_ms.mean(),
+            rn.response_ms.mean(),
+            rd.drop_percent(),
+            rd.violations,
+            rn.violations
         );
         if std::env::var("SEVE_SCAN_DETAIL").is_ok() {
             println!(

@@ -5,11 +5,22 @@ use seve_sim::SimConfig;
 
 fn main() {
     let range: f64 = std::env::args().nth(1).unwrap().parse().unwrap();
-    let spacing: f64 = std::env::args().nth(2).map(|v| v.parse().unwrap()).unwrap_or(8.0);
+    let spacing: f64 = std::env::args()
+        .nth(2)
+        .map(|v| v.parse().unwrap())
+        .unwrap_or(8.0);
     let w = dense_world(20.0, range, spacing, Scale::Full);
-    let sim = SimConfig { moves_per_client: 100, ..Default::default() };
+    let sim = SimConfig {
+        moves_per_client: 100,
+        ..Default::default()
+    };
     let mut proto = dense_protocol(ServerMode::InfoBound, 20.0, range);
     proto.threshold = 30.0;
     let r = run_seve(&w, ServerMode::InfoBound, proto, &sim);
-    eprintln!("dropped {} / {} = {:.2}%", r.dropped, r.submitted, r.drop_percent());
+    eprintln!(
+        "dropped {} / {} = {:.2}%",
+        r.dropped,
+        r.submitted,
+        r.drop_percent()
+    );
 }

@@ -121,7 +121,9 @@ impl<W: GameWorld> SeveClient<W> {
                     .collect();
                 eprintln!(
                     "EVALDUMP replica c{} pos {pos} first {first_time} action {:?} rs {}",
-                    metrics.owner, action.id(), vals.join(" | ")
+                    metrics.owner,
+                    action.id(),
+                    vals.join(" | ")
                 );
             }
         }
@@ -180,12 +182,7 @@ impl<W: GameWorld> SeveClient<W> {
     }
 
     /// Handle the return of one of our own actions with its stable outcome.
-    fn own_action_returned(
-        &mut self,
-        now: SimTime,
-        id: ActionId,
-        stable: &Outcome,
-    ) -> u64 {
+    fn own_action_returned(&mut self, now: SimTime, id: ActionId, stable: &Outcome) -> u64 {
         let mut cost = 0;
         // In-order servers return our actions in submission order, so this
         // is almost always the head; remove_by_id also covers the head.
@@ -301,7 +298,10 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
                                 if std::env::var("SEVE_DEBUG_DUP").is_ok() {
                                     eprintln!(
                                         "DUP client {:?} pos {} issuer {:?} base_pos {}",
-                                        self.id, item.pos, action.issuer(), self.replay.base_pos()
+                                        self.id,
+                                        item.pos,
+                                        action.issuer(),
+                                        self.replay.base_pos()
                                     );
                                 }
                                 // Duplicate delivery (e.g. redundant push):
@@ -331,9 +331,7 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
                                 let ws_q = self.pending.ws_set().clone();
                                 self.zeta_co.apply_writes_except(&stable.writes, &ws_q);
                             }
-                            if self.sends_completions()
-                                && (own || self.redundant_completions)
-                            {
+                            if self.sends_completions() && (own || self.redundant_completions) {
                                 self.metrics.completions_sent += 1;
                                 out.push(ToServer::Completion {
                                     pos: item.pos,

@@ -15,10 +15,10 @@
 //!   submitted action's conflict chain; if the chain reaches an action
 //!   farther than `threshold`, drop the new action.
 
+use seve_net::time::SimTime;
 use seve_world::action::{Action, Influence, Outcome};
 use seve_world::ids::{ClientId, QueuePos};
 use seve_world::objset::ObjectSet;
-use seve_net::time::SimTime;
 use std::collections::VecDeque;
 
 /// A growable bitmap over client indices — the `sent(a)` set.
@@ -346,8 +346,12 @@ pub fn analyze_new_actions<A: Action>(
                     if std::env::var("SEVE_DEBUG_DROPS").is_ok() {
                         eprintln!(
                             "DROP pos {} center {:?} vs pos {} center {:?} dist {:.1} chain {}",
-                            pos, center, j, ej.influence.center,
-                            center.dist(ej.influence.center), chain
+                            pos,
+                            center,
+                            j,
+                            ej.influence.center,
+                            center.dist(ej.influence.center),
+                            chain
                         );
                     }
                     invalid = true;

@@ -5,12 +5,17 @@
 //! with declared read/write sets — to a serializing server, instead of
 //! shipping object state. Four variants of increasing sophistication:
 //!
-//! | Variant | Paper | Module |
+//! | Variant | Paper | Server configuration |
 //! |---|---|---|
-//! | Basic action protocol | Algs 1–3 | [`server::basic`] + [`client`] |
-//! | Incomplete World Model | Algs 4–6 | [`server::incomplete`] + [`client`] |
-//! | First Bound Model | §III-D | [`server::bounded`] (dropping off) |
-//! | Information Bound Model | Alg 7 | [`server::bounded`] (dropping on) |
+//! | Basic action protocol | Algs 1–3 | [`pipeline`] (broadcast routing) + [`client`] |
+//! | Incomplete World Model | Algs 4–6 | [`pipeline`] (closure routing) + [`client`] |
+//! | Information Bound Model | Alg 7 | [`pipeline`] (sphere routing + drops) |
+//! | First Bound Model | §III-D | [`pipeline`] (sphere routing, no drops) |
+//!
+//! All four run on one staged server engine
+//! ([`pipeline::PipelineServer`]): ingress → serialize → analyze → route →
+//! egress, with the variant-specific behaviour injected as routing / drop /
+//! push policies at construction time ([`server::SeveSuite`]).
 //!
 //! The client engine ([`client::SeveClient`]) is shared by all variants: it
 //! maintains the optimistic state ζ_CO and stable state ζ_CS, the pending
@@ -43,6 +48,7 @@ pub mod engine;
 pub mod metrics;
 pub mod msg;
 pub mod pending;
+pub mod pipeline;
 pub mod replay;
 pub mod server;
 
@@ -51,7 +57,5 @@ pub use config::{ProtocolConfig, ServerMode};
 pub use engine::{ClientNode, ProtocolSuite, ServerNode, WireSize};
 pub use metrics::{ClientMetrics, ServerMetrics};
 pub use msg::{Item, Payload, ToClient, ToServer};
-pub use server::basic::BasicServer;
-pub use server::bounded::BoundedServer;
-pub use server::incomplete::IncompleteServer;
+pub use pipeline::PipelineServer;
 pub use server::SeveSuite;

@@ -74,6 +74,63 @@ impl ClientMetrics {
     }
 }
 
+/// Wall-clock profile of one pipeline stage: how often it ran and how much
+/// real time it consumed. Distinct from the *simulated* cost model
+/// (`compute_us`): stage profiles measure the host implementation and are
+/// never fed back into the simulation, so the event order stays
+/// deterministic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageProfile {
+    /// Invocations of the stage.
+    pub events: u64,
+    /// Wall-clock nanoseconds spent inside the stage.
+    pub nanos: u64,
+}
+
+impl StageProfile {
+    /// Record one invocation that took `nanos` wall-clock nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        self.events += 1;
+        self.nanos += nanos;
+    }
+
+    /// Total stage time in microseconds.
+    pub fn micros(&self) -> f64 {
+        self.nanos as f64 / 1_000.0
+    }
+
+    /// Mean microseconds per invocation.
+    pub fn mean_us(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.micros() / self.events as f64
+        }
+    }
+}
+
+/// Per-stage instrumentation of the server pipeline
+/// ([`crate::pipeline`]): ingress → serialize → analyze → route → egress.
+#[derive(Clone, Debug, Default)]
+pub struct StageMetrics {
+    /// Timestamp + enqueue.
+    pub ingress: StageProfile,
+    /// Commit-order install of completions into ζ_S, plus GC notices.
+    pub serialize: StageProfile,
+    /// Transitive-closure scans and Algorithm 7 drop verdicts.
+    pub analyze: StageProfile,
+    /// Candidate selection: Eq. 1 spheres, interest classes, velocity
+    /// culling, catch-up spans.
+    pub route: StageProfile,
+    /// Batch assembly and hand-off: blind writes, `sent` tracking,
+    /// per-client FIFO order.
+    pub egress: StageProfile,
+    /// Encoded bytes of every message egress emitted.
+    pub egress_bytes: u64,
+    /// Messages egress emitted.
+    pub egress_msgs: u64,
+}
+
 /// Per-server metrics.
 #[derive(Clone, Debug, Default)]
 pub struct ServerMetrics {
@@ -94,6 +151,9 @@ pub struct ServerMetrics {
     pub compute_us: u64,
     /// High-water mark of the uncommitted action queue.
     pub max_queue_len: usize,
+    /// Wall-clock pipeline stage profile (diagnostic; not part of the
+    /// simulated cost model).
+    pub stage: StageMetrics,
 }
 
 #[cfg(test)]
@@ -124,5 +184,18 @@ mod tests {
         let s = ServerMetrics::default();
         assert_eq!(s.installed, 0);
         assert_eq!(s.max_queue_len, 0);
+        assert_eq!(s.stage.ingress.events, 0);
+        assert_eq!(s.stage.egress_bytes, 0);
+    }
+
+    #[test]
+    fn stage_profile_accumulates() {
+        let mut p = StageProfile::default();
+        p.record(1_500);
+        p.record(500);
+        assert_eq!(p.events, 2);
+        assert_eq!(p.nanos, 2_000);
+        assert!((p.micros() - 2.0).abs() < 1e-12);
+        assert!((p.mean_us() - 1.0).abs() < 1e-12);
     }
 }

@@ -127,9 +127,7 @@ pub enum ToClient<A> {
 impl<A: Action> WireSize for ToClient<A> {
     fn wire_bytes(&self) -> u32 {
         match self {
-            ToClient::Batch { items } => {
-                2 + items.iter().map(WireSize::wire_bytes).sum::<u32>()
-            }
+            ToClient::Batch { items } => 2 + items.iter().map(WireSize::wire_bytes).sum::<u32>(),
             ToClient::Dropped { .. } => 1 + 6 + 8,
             ToClient::GcUpTo { .. } => 1 + 8,
         }

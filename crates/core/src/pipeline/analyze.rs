@@ -1,0 +1,126 @@
+//! Analyze stage: transitive-closure scans (Algorithm 6) and drop
+//! verdicts (Algorithm 7), behind the [`DropPolicy`] trait.
+//!
+//! The closure scan serves two consumers — the Incomplete World Model's
+//! per-submission replies and the bounded models' push fan-out — so it
+//! lives here as a shared, stage-timed helper. The drop verdict is a
+//! policy: [`NoDrop`] for the Basic / Incomplete / First Bound modes, and
+//! [`ChainBreak`] for the Information Bound Model, which walks each newly
+//! submitted action's conflict chain and drops actions whose chain reaches
+//! farther than the threshold.
+
+use crate::closure::{analyze_new_actions, closure_for, ClosureResult};
+use crate::msg::ToClient;
+use crate::pipeline::{serialize, state::PipelineState};
+use seve_net::time::SimTime;
+use seve_world::ids::{ClientId, QueuePos};
+use seve_world::{Action, GameWorld};
+use std::time::Instant;
+
+/// Compute the transitive support (Algorithm 6) for `candidates` on behalf
+/// of `client`, marking the returned positions as sent. Stage-timed; also
+/// records the closure-scan workload metric.
+pub fn closure_support<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    client: ClientId,
+    candidates: &[QueuePos],
+) -> ClosureResult {
+    let t = Instant::now();
+    let result = closure_for(&mut st.queue, client, candidates);
+    st.metrics
+        .closure_scan_entries
+        .record(result.scanned as f64);
+    st.metrics
+        .stage
+        .analyze
+        .record(t.elapsed().as_nanos() as u64);
+    result
+}
+
+/// When (and whether) queued actions are dropped, and consequently how far
+/// the push horizon may advance.
+pub trait DropPolicy<W: GameWorld>: Send {
+    /// Per-tick analysis over newly submitted actions. Appends drop notices
+    /// to `out`; returns the simulated compute cost in microseconds.
+    fn analyze(
+        &mut self,
+        _st: &mut PipelineState<W>,
+        _now: SimTime,
+        _out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        0
+    }
+
+    /// The highest position eligible for pushing. With dropping on, only
+    /// analysis-cleared actions may be pushed (an action pushed before its
+    /// Algorithm 7 verdict could later be dropped — but it would already
+    /// have been applied by some replicas).
+    fn horizon(&self, st: &PipelineState<W>) -> QueuePos {
+        st.queue.last_pos().unwrap_or(0)
+    }
+}
+
+/// No dropping: every action eventually commits (Basic, Incomplete, First
+/// Bound). The push horizon is the queue tail.
+pub struct NoDrop;
+
+impl<W: GameWorld> DropPolicy<W> for NoDrop {}
+
+/// Algorithm 7 chain-breaking (the Information Bound Model): per tick,
+/// walk each new action's conflict chain and drop actions whose chain
+/// reaches farther than the configured threshold.
+pub struct ChainBreak {
+    /// Every position at or below this has passed Algorithm 7 analysis.
+    analyzed_upto: QueuePos,
+}
+
+impl ChainBreak {
+    /// A fresh analyzer.
+    pub fn new() -> Self {
+        Self { analyzed_upto: 0 }
+    }
+}
+
+impl Default for ChainBreak {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: GameWorld> DropPolicy<W> for ChainBreak {
+    fn analyze(
+        &mut self,
+        st: &mut PipelineState<W>,
+        _now: SimTime,
+        out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        // Algorithm 7's onNextTick over actions submitted since last tick.
+        let from = (self.analyzed_upto + 1).max(st.queue.first_pos());
+        let analysis = analyze_new_actions(&mut st.queue, from, st.cfg.threshold);
+        for &len in &analysis.chain_lens {
+            st.metrics.chain_len.record(len as f64);
+        }
+        for &pos in &analysis.dropped {
+            st.metrics.drops += 1;
+            let e = st.queue.get(pos).expect("just analyzed");
+            out.push((
+                e.action.issuer(),
+                ToClient::Dropped {
+                    id: e.action.id(),
+                    pos,
+                },
+            ));
+        }
+        if !analysis.dropped.is_empty() {
+            // A newly dropped front entry commits as a no-op.
+            serialize::try_install(st);
+            serialize::maybe_gc_notice(st, out);
+        }
+        self.analyzed_upto = st.queue.last_pos().unwrap_or(self.analyzed_upto);
+        st.scan_cost(analysis.scanned)
+    }
+
+    fn horizon(&self, _st: &PipelineState<W>) -> QueuePos {
+        self.analyzed_upto
+    }
+}

@@ -1,0 +1,143 @@
+//! Egress stage: per-client batch assembly and hand-off.
+//!
+//! Everything a client receives funnels through here: blind writes
+//! `W(S, ζ_S(S))` filtered against the per-client version tables, action
+//! items in queue-position order (the per-client FIFO the replay contract
+//! depends on), and the egress byte/message counters. Emission is
+//! stage-timed; the simulated cost model stays with the caller.
+
+use crate::closure::ClosureResult;
+use crate::msg::{Item, ToClient};
+use crate::pipeline::state::PipelineState;
+use crate::WireSize;
+use seve_world::ids::{ClientId, QueuePos};
+use seve_world::objset::ObjectSet;
+use seve_world::GameWorld;
+use std::time::Instant;
+
+/// Build the blind-write item `W(S, ζ_S(S))` for a residual read set,
+/// filtered against what `client` is already known to hold — shipping an
+/// object whose committed value the client has (or holds a newer
+/// uncommitted value for) is pure overhead. Returns `None` when nothing
+/// remains to supply.
+pub fn blind_item_for<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    client: ClientId,
+    set: &ObjectSet,
+) -> Option<Item<W::Action>> {
+    if set.is_empty() {
+        return None;
+    }
+    let known = &mut st.client_known[client.index()];
+    let mut snap = seve_world::state::Snapshot::new();
+    for o in set.iter() {
+        let committed = st.committed_version.get(&o).copied().unwrap_or(0);
+        let held = known.get(&o).copied();
+        // `held = None` means the client holds the initial value
+        // (version 0), which every replica bootstraps with.
+        if held.unwrap_or(0) >= committed {
+            continue;
+        }
+        if let Some(obj) = st.zeta_s.get(o) {
+            snap.push(o, obj.clone());
+            known.insert(o, committed);
+        }
+    }
+    if snap.is_empty() {
+        return None;
+    }
+    Some(Item::blind(st.last_committed, snap))
+}
+
+/// Build the batch items for positions `send` (ascending), prefixed by the
+/// (version-filtered) blind write for `blind_set`, updating the per-client
+/// known-version table.
+pub fn batch_items<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    client: ClientId,
+    send: &[QueuePos],
+    blind_set: &ObjectSet,
+) -> Vec<Item<W::Action>> {
+    let mut items = Vec::with_capacity(send.len() + 1);
+    if let Some(blind) = blind_item_for(st, client, blind_set) {
+        items.push(blind);
+    }
+    for &pos in send {
+        let e = st.queue.get(pos).expect("sent positions are queued");
+        // The client will apply this action's writes at `pos`.
+        let known = &mut st.client_known[client.index()];
+        for o in e.ws.iter() {
+            let entry = known.entry(o).or_insert(0);
+            *entry = (*entry).max(pos);
+        }
+        items.push(Item::action(pos, e.action.clone()));
+    }
+    items
+}
+
+/// Assemble and emit the closure-routed batch (blind write + transitive
+/// support + candidates, in queue order) for `client`. Stage-timed; records
+/// the batch-size metric and the egress byte/message counters.
+pub fn emit_closure_batch<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    client: ClientId,
+    result: &ClosureResult,
+    out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+) {
+    let t = Instant::now();
+    let items = batch_items(st, client, &result.send, &result.blind_set);
+    st.metrics.batch_items.record(items.len() as f64);
+    finish(st, client, items, out);
+    st.metrics
+        .stage
+        .egress
+        .record(t.elapsed().as_nanos() as u64);
+}
+
+/// Assemble and emit the plain action span `lo..=hi` for `client`
+/// (broadcast delivery), skipping positions already trimmed from the
+/// queue. Returns the number of items emitted (zero means no message went
+/// out). `record_summary` preserves the Algorithm 2 accounting convention:
+/// solicited replies record batch sizes, the quiescence flush does not.
+pub fn emit_span<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    client: ClientId,
+    lo: QueuePos,
+    hi: QueuePos,
+    record_summary: bool,
+    out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+) -> usize {
+    let t = Instant::now();
+    let mut items = Vec::with_capacity(hi.saturating_sub(lo).saturating_add(1) as usize);
+    for p in lo..=hi {
+        if let Some(e) = st.queue.get(p) {
+            items.push(Item::action(p, e.action.clone()));
+        }
+    }
+    let n = items.len();
+    if record_summary {
+        st.metrics.batch_items.record(n as f64);
+    }
+    if n > 0 {
+        finish(st, client, items, out);
+    }
+    st.metrics
+        .stage
+        .egress
+        .record(t.elapsed().as_nanos() as u64);
+    n
+}
+
+/// Wrap the assembled items into a batch, charge the egress traffic
+/// counters, and hand the message off.
+fn finish<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    client: ClientId,
+    items: Vec<Item<W::Action>>,
+    out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+) {
+    let msg = ToClient::Batch { items };
+    st.metrics.stage.egress_bytes += u64::from(msg.wire_bytes());
+    st.metrics.stage.egress_msgs += 1;
+    out.push((client, msg));
+}

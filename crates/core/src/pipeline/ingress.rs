@@ -1,0 +1,20 @@
+//! Ingress stage: timestamp and enqueue (Algorithm 2 step a).
+//!
+//! Every submission enters the serializer the same way regardless of mode:
+//! the action is stamped with the arrival time, appended to the global
+//! queue, and assigned the queue position that *is* its serialization
+//! order. Everything downstream (closure scans, drop verdicts, Eq. 1
+//! routing, batch assembly) keys off that position.
+
+use crate::pipeline::state::PipelineState;
+use seve_net::time::SimTime;
+use seve_world::ids::QueuePos;
+use seve_world::GameWorld;
+
+/// Timestamp and enqueue a submission, returning its queue position.
+pub fn admit<W: GameWorld>(st: &mut PipelineState<W>, now: SimTime, action: W::Action) -> QueuePos {
+    st.metrics.submissions += 1;
+    let pos = st.queue.push(action, now);
+    st.metrics.max_queue_len = st.metrics.max_queue_len.max(st.queue.len());
+    pos
+}

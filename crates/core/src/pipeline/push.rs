@@ -1,0 +1,33 @@
+//! Push policy: whether (and how often) the server runs proactive push
+//! cycles.
+//!
+//! The First / Information Bound Models push every ω·RTT so the response
+//! for any action arrives within (1+ω)·RTT ([`OmegaRtt`]); the pull-based
+//! modes never push ([`NoPush`]).
+
+use crate::config::ProtocolConfig;
+use seve_net::time::SimDuration;
+
+/// Whether and how often the route stage's push fan-out runs.
+pub trait PushPolicy: Send {
+    /// The push period, or `None` for pull-based modes.
+    fn period(&self, cfg: &ProtocolConfig) -> Option<SimDuration>;
+}
+
+/// Pull-based modes: no proactive pushes.
+pub struct NoPush;
+
+impl PushPolicy for NoPush {
+    fn period(&self, _cfg: &ProtocolConfig) -> Option<SimDuration> {
+        None
+    }
+}
+
+/// Push every ω·RTT (Section III-D).
+pub struct OmegaRtt;
+
+impl PushPolicy for OmegaRtt {
+    fn period(&self, cfg: &ProtocolConfig) -> Option<SimDuration> {
+        Some(cfg.push_period())
+    }
+}

@@ -1,0 +1,301 @@
+//! Route stage: which clients hear about which queued actions, behind the
+//! [`RoutingPolicy`] trait.
+//!
+//! Three policies cover the paper's protocol family:
+//!
+//! * [`BroadcastRouting`] — Algorithm 2: deliver everything to everyone,
+//!   tracking `pos_C` per client and trimming fully delivered entries.
+//! * [`ClosureRouting`] — Algorithms 5 + 6: reply to each submission with
+//!   its transitive conflict closure plus a blind write for the residue.
+//! * [`SphereRouting`] — the First / Information Bound Models: on each
+//!   ω·RTT push cycle, select candidates by the Eq. 1 influence sphere
+//!   (with interest classes, velocity culling, and the dense-crowd
+//!   interest-radius override), then ship their closure support.
+
+use crate::bounds::BoundParams;
+use crate::config::ProtocolConfig;
+use crate::msg::ToClient;
+use crate::pipeline::{analyze, egress, state::PipelineState};
+use seve_net::time::SimTime;
+use seve_world::geometry::Vec2;
+use seve_world::ids::{ClientId, QueuePos};
+use seve_world::semantics::InterestMask;
+use seve_world::{Action, GameWorld};
+
+/// Which clients hear about which queued actions, and when.
+pub trait RoutingPolicy<W: GameWorld>: Send {
+    /// Observe a submission before it is enqueued (e.g. to update the
+    /// submitter's sphere-of-influence position).
+    fn before_enqueue(&mut self, _st: &mut PipelineState<W>, _from: ClientId, _action: &W::Action) {
+    }
+
+    /// The solicited reply to a submission now queued at `pos`. Returns the
+    /// simulated compute cost beyond the per-message charge.
+    fn on_submit(
+        &mut self,
+        st: &mut PipelineState<W>,
+        now: SimTime,
+        from: ClientId,
+        pos: QueuePos,
+        out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64;
+
+    /// Unsolicited delivery on the server tick (quiescence flushes).
+    /// Returns the simulated compute cost.
+    fn on_tick(
+        &mut self,
+        _st: &mut PipelineState<W>,
+        _now: SimTime,
+        _out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        0
+    }
+
+    /// The ω·RTT proactive push fan-out over positions up to `horizon`.
+    /// Returns the simulated compute cost.
+    fn on_push(
+        &mut self,
+        _st: &mut PipelineState<W>,
+        _now: SimTime,
+        _horizon: QueuePos,
+        _out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        0
+    }
+
+    /// Whether this mode's clients send completion messages (and the
+    /// serialize stage therefore maintains ζ_S).
+    fn handles_completions(&self) -> bool {
+        true
+    }
+}
+
+/// Algorithm 2: every client eventually receives every action.
+pub struct BroadcastRouting {
+    /// `pos_C` per client.
+    pos_c: Vec<QueuePos>,
+}
+
+impl BroadcastRouting {
+    /// Routing for `n` clients.
+    pub fn new(n: usize) -> Self {
+        Self { pos_c: vec![0; n] }
+    }
+
+    /// Drop queue entries already delivered to every client — the basic
+    /// protocol has no commit machinery, so "delivered everywhere" is the
+    /// retention bound.
+    fn trim_delivered<W: GameWorld>(&self, st: &mut PipelineState<W>) {
+        let min_pos = self.pos_c.iter().copied().min().unwrap_or(0);
+        while let Some(front) = st.queue.front() {
+            if front.pos <= min_pos {
+                st.queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl<W: GameWorld> RoutingPolicy<W> for BroadcastRouting {
+    fn on_submit(
+        &mut self,
+        st: &mut PipelineState<W>,
+        _now: SimTime,
+        from: ClientId,
+        pos: QueuePos,
+        out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        let lo = self.pos_c[from.index()] + 1;
+        let n_items = egress::emit_span(st, from, lo, pos, true, out);
+        self.pos_c[from.index()] = pos;
+        self.trim_delivered(st);
+        st.scan_cost(n_items)
+    }
+
+    fn on_tick(
+        &mut self,
+        st: &mut PipelineState<W>,
+        _now: SimTime,
+        out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        // Catch-up flush: Algorithm 2 as written only delivers to a client
+        // when it submits, so a client that stops submitting never learns
+        // the tail of the queue. The paper's clients submit continuously,
+        // making the distinction invisible; we flush undelivered actions on
+        // the server tick so replicas also converge at quiescence.
+        let Some(last) = st.queue.last_pos() else {
+            return 0;
+        };
+        let mut cost = 0;
+        for i in 0..self.pos_c.len() {
+            if self.pos_c[i] >= last {
+                continue;
+            }
+            let lo = self.pos_c[i] + 1;
+            self.pos_c[i] = last;
+            let n_items = egress::emit_span(st, ClientId(i as u16), lo, last, false, out);
+            if n_items > 0 {
+                cost += st.cfg.msg_cost_us + st.scan_cost(n_items);
+            }
+        }
+        self.trim_delivered(st);
+        cost
+    }
+
+    fn handles_completions(&self) -> bool {
+        false
+    }
+}
+
+/// Algorithms 5 + 6: reply to each submission with its transitive conflict
+/// closure plus a blind write for the residual read support.
+pub struct ClosureRouting;
+
+impl<W: GameWorld> RoutingPolicy<W> for ClosureRouting {
+    fn on_submit(
+        &mut self,
+        st: &mut PipelineState<W>,
+        _now: SimTime,
+        from: ClientId,
+        pos: QueuePos,
+        out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        // Algorithm 6: compute the reply for the submitting client.
+        let result = analyze::closure_support(st, from, &[pos]);
+        egress::emit_closure_batch(st, from, &result, out);
+        st.scan_cost(result.scanned)
+    }
+}
+
+/// First / Information Bound push routing: the Eq. 1 influence sphere with
+/// interest classes and velocity culling selects candidates, whose closure
+/// support is pushed every ω·RTT.
+pub struct SphereRouting {
+    /// `p̄_C` — last known position of each client's sphere of influence,
+    /// updated from the influence center of each submission.
+    client_pos: Vec<Vec2>,
+    /// Interest subscriptions (Section IV-A); `ALL` when filtering is off.
+    interests: Vec<InterestMask>,
+    /// Per client: every position at or below this has been considered for
+    /// pushing to that client.
+    last_push_pos: Vec<QueuePos>,
+    params: BoundParams,
+}
+
+impl SphereRouting {
+    /// Routing over `world` under `cfg`.
+    pub fn new<W: GameWorld>(world: &W, cfg: &ProtocolConfig) -> Self {
+        let n = world.num_clients();
+        let sem = world.semantics();
+        let initial = world.initial_state();
+        let center_fallback = Vec2::new(
+            (sem.bounds.min.x + sem.bounds.max.x) * 0.5,
+            (sem.bounds.min.y + sem.bounds.max.y) * 0.5,
+        );
+        let client_pos = (0..n)
+            .map(|i| {
+                let c = ClientId(i as u16);
+                world
+                    .position_in(&initial, world.avatar_object(c))
+                    .unwrap_or(center_fallback)
+            })
+            .collect();
+        let interests = (0..n)
+            .map(|i| {
+                if cfg.interest_filtering {
+                    world.client_interests(ClientId(i as u16))
+                } else {
+                    InterestMask::ALL
+                }
+            })
+            .collect();
+        let params = BoundParams {
+            max_speed: sem.max_speed,
+            window_secs: cfg.rtt.as_secs_f64() * (1.0 + cfg.omega),
+            client_radius: sem.client_radius,
+            // Candidates are selected by the Eq. 1 sphere in both modes;
+            // the transitive support added by the closure is what Eq. 2
+            // bounds (candidate distance + at most `threshold` of chain)
+            // when dropping is on — the bound is emergent, not a wider
+            // candidate filter.
+            extra: 0.0,
+            velocity_culling: cfg.velocity_culling,
+        };
+        Self {
+            client_pos,
+            interests,
+            last_push_pos: vec![0; n],
+            params,
+        }
+    }
+}
+
+impl<W: GameWorld> RoutingPolicy<W> for SphereRouting {
+    fn before_enqueue(&mut self, _st: &mut PipelineState<W>, from: ClientId, action: &W::Action) {
+        self.client_pos[from.index()] = action.influence().center;
+    }
+
+    fn on_submit(
+        &mut self,
+        _st: &mut PipelineState<W>,
+        _now: SimTime,
+        _from: ClientId,
+        _pos: QueuePos,
+        _out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        // Bounded modes reply only on push cycles.
+        0
+    }
+
+    fn on_push(
+        &mut self,
+        st: &mut PipelineState<W>,
+        now: SimTime,
+        horizon: QueuePos,
+        out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+    ) -> u64 {
+        let n = st.num_clients();
+        let mut cost = 0u64;
+        let mut candidates: Vec<QueuePos> = Vec::new();
+        for i in 0..n {
+            let client = ClientId(i as u16);
+            candidates.clear();
+            let lo = self.last_push_pos[i] + 1;
+            for pos in lo..=horizon {
+                let Some(e) = st.queue.get(pos) else {
+                    continue; // already committed: values flow via blinds
+                };
+                if e.dropped || e.sent.contains(client) {
+                    continue;
+                }
+                let own = e.action.issuer() == client;
+                if !own {
+                    if !self.interests[i].contains(e.influence.class) {
+                        continue;
+                    }
+                    let near = match st.cfg.interest_radius_override {
+                        Some(r) => e.influence.center.dist(self.client_pos[i]) <= r,
+                        None => {
+                            let age = (now - e.submit_time).as_secs_f64();
+                            self.params
+                                .may_affect(&e.influence, age, self.client_pos[i])
+                        }
+                    };
+                    if !near {
+                        continue;
+                    }
+                }
+                candidates.push(pos);
+            }
+            self.last_push_pos[i] = horizon.max(self.last_push_pos[i]);
+            if candidates.is_empty() {
+                continue;
+            }
+            let result = analyze::closure_support(st, client, &candidates);
+            cost += st.cfg.msg_cost_us + st.scan_cost(result.scanned);
+            egress::emit_closure_batch(st, client, &result, out);
+        }
+        cost
+    }
+}

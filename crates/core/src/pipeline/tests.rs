@@ -1,0 +1,447 @@
+//! Behavioural tests for the pipeline under each policy configuration —
+//! migrated from the pre-refactor per-engine test suites so the protocol
+//! contracts stay pinned: Algorithm 2 gap replies and trimming, Algorithm
+//! 5/6 closure replies, blind-write version filtering and in-order
+//! installs, and the First/Information Bound push selection and drops.
+
+use super::*;
+use crate::config::{ProtocolConfig, ServerMode};
+use crate::msg::{Item, Payload, ToClient, ToServer};
+use seve_world::action::Action;
+use seve_world::ids::QueuePos;
+use seve_world::state::WriteLog;
+use seve_world::worlds::dining::{DiningConfig, DiningWorld, HOLDER};
+
+type A = <DiningWorld as GameWorld>::Action;
+
+fn dining(n: usize) -> Arc<DiningWorld> {
+    Arc::new(DiningWorld::new(DiningConfig {
+        philosophers: n,
+        ..DiningConfig::default()
+    }))
+}
+
+fn setup(n: usize, mode: ServerMode) -> (Arc<DiningWorld>, PipelineServer<DiningWorld>) {
+    let world = dining(n);
+    let server = PipelineServer::new(Arc::clone(&world), ProtocolConfig::with_mode(mode));
+    (world, server)
+}
+
+fn items_of(msg: &ToClient<A>) -> &[Item<A>] {
+    match msg {
+        ToClient::Batch { items } => items,
+        _ => panic!("expected batch"),
+    }
+}
+
+fn submit(
+    s: &mut PipelineServer<DiningWorld>,
+    world: &Arc<DiningWorld>,
+    c: u16,
+    seq: u32,
+    out: &mut Vec<(ClientId, ToClient<A>)>,
+) {
+    s.deliver(
+        SimTime::ZERO,
+        ClientId(c),
+        ToServer::Submit {
+            action: world.grab(ClientId(c), seq),
+        },
+        out,
+    );
+}
+
+// ---- Broadcast routing (Algorithm 2) ----
+
+#[test]
+fn broadcast_reply_covers_gap_since_last_submission() {
+    let (world, mut s) = setup(4, ServerMode::Basic);
+    let mut out = Vec::new();
+    // c0 submits: gets [1..=1]. c1 submits: gets [1..=2]. c0 again: [2..=3].
+    submit(&mut s, &world, 0, 0, &mut out);
+    submit(&mut s, &world, 1, 0, &mut out);
+    submit(&mut s, &world, 0, 1, &mut out);
+    let sizes: Vec<usize> = out.iter().map(|(_, m)| items_of(m).len()).collect();
+    assert_eq!(sizes, vec![1, 2, 2]);
+    assert_eq!(out[0].0, ClientId(0));
+    assert_eq!(out[1].0, ClientId(1));
+    assert_eq!(out[2].0, ClientId(0));
+}
+
+#[test]
+fn broadcast_entries_are_trimmed_once_everyone_has_them() {
+    let (world, mut s) = setup(2, ServerMode::Basic);
+    let mut out = Vec::new();
+    for round in 0..3u32 {
+        for c in 0..2u16 {
+            submit(&mut s, &world, c, round, &mut out);
+        }
+    }
+    // After both clients have submitted, everything up to the
+    // second-to-last round is delivered to both and trimmed.
+    assert!(
+        s.state().queue.len() <= 2,
+        "queue length {}",
+        s.state().queue.len()
+    );
+}
+
+#[test]
+fn broadcast_has_no_push_period_and_no_committed_state() {
+    let (_, s) = setup(4, ServerMode::Basic);
+    assert!(s.push_period().is_none());
+    assert!(s.committed().is_none());
+}
+
+// ---- Closure routing (Algorithms 5 + 6) ----
+
+#[test]
+fn bootstrap_reply_needs_no_blind_write() {
+    // Before anything commits, every client's initial state already holds
+    // the committed (version 0) values, so the version filter suppresses
+    // the blind write entirely.
+    let (world, mut s) = setup(6, ServerMode::Incomplete);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 2, 0, &mut out);
+    assert_eq!(out.len(), 1);
+    let items = items_of(&out[0].1);
+    assert_eq!(items.len(), 1, "just the action — no blind at bootstrap");
+    assert!(matches!(items[0].payload, Payload::Action(_)));
+    assert_eq!(items[0].pos, 1);
+}
+
+#[test]
+fn blind_write_ships_committed_values_the_client_lacks() {
+    let (world, mut s) = setup(6, ServerMode::Incomplete);
+    let mut out = Vec::new();
+    // Philosopher 2 grabs; its completion commits new fork values.
+    let a = world.grab(ClientId(2), 0);
+    s.deliver(
+        SimTime::ZERO,
+        ClientId(2),
+        ToServer::Submit { action: a.clone() },
+        &mut out,
+    );
+    let outcome = a.evaluate(world.env(), &world.initial_state());
+    s.deliver(
+        SimTime::ZERO,
+        ClientId(2),
+        ToServer::Completion {
+            pos: 1,
+            id: a.id(),
+            writes: outcome.writes,
+            aborted: false,
+        },
+        &mut out,
+    );
+    assert_eq!(s.last_committed(), 1);
+    out.clear();
+    // Philosopher 3 shares fork 3 with philosopher 2: its reply must carry
+    // the committed fork values it has never seen, as a blind.
+    submit(&mut s, &world, 3, 0, &mut out);
+    let items = items_of(&out[0].1);
+    assert_eq!(items.len(), 2, "blind + the action");
+    let Payload::Blind(snap) = &items[0].payload else {
+        panic!("first item must be the blind write");
+    };
+    assert!(snap
+        .object_set()
+        .contains(seve_world::worlds::dining::fork(3, 6)));
+    assert_eq!(items[0].pos, 1, "as_of the committed position");
+    // And the same client asking again gets no repeat of that blind.
+    out.clear();
+    submit(&mut s, &world, 3, 1, &mut out);
+    let items2 = items_of(&out[0].1);
+    assert!(
+        items2
+            .iter()
+            .all(|i| matches!(i.payload, Payload::Action(_))),
+        "committed values already held are not re-shipped"
+    );
+}
+
+#[test]
+fn unrelated_submissions_do_not_see_each_other() {
+    let (world, mut s) = setup(8, ServerMode::Incomplete);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    out.clear();
+    // Philosopher 4 shares no fork with philosopher 0.
+    submit(&mut s, &world, 4, 0, &mut out);
+    let actions: Vec<u64> = items_of(&out[0].1)
+        .iter()
+        .filter(|i| matches!(i.payload, Payload::Action(_)))
+        .map(|i| i.pos)
+        .collect();
+    assert_eq!(actions, vec![2], "only philosopher 4's own grab");
+}
+
+#[test]
+fn adjacent_submission_pulls_the_conflicting_grab() {
+    let (world, mut s) = setup(8, ServerMode::Incomplete);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    out.clear();
+    // Philosopher 1 shares fork 1 with philosopher 0.
+    submit(&mut s, &world, 1, 0, &mut out);
+    let actions: Vec<u64> = items_of(&out[0].1)
+        .iter()
+        .filter(|i| matches!(i.payload, Payload::Action(_)))
+        .map(|i| i.pos)
+        .collect();
+    assert_eq!(actions, vec![1, 2], "conflicting grab included, in order");
+}
+
+#[test]
+fn completions_install_in_order_and_advance_zeta_s() {
+    let (world, mut s) = setup(4, ServerMode::Incomplete);
+    let mut out = Vec::new();
+    for c in 0..2u16 {
+        submit(&mut s, &world, c, 0, &mut out);
+    }
+    // Completion for pos 2 arrives first: held (ζ_S(1) unavailable).
+    let mut w2 = WriteLog::new();
+    w2.push(seve_world::worlds::dining::fork(2, 4), HOLDER, 1i64.into());
+    s.deliver(
+        SimTime::ZERO,
+        ClientId(1),
+        ToServer::Completion {
+            pos: 2,
+            id: seve_world::ids::ActionId::new(ClientId(1), 0),
+            writes: w2,
+            aborted: false,
+        },
+        &mut out,
+    );
+    assert_eq!(s.last_committed(), 0, "held until the prefix is ready");
+    // Completion for pos 1 arrives: both install.
+    let mut w1 = WriteLog::new();
+    w1.push(seve_world::worlds::dining::fork(0, 4), HOLDER, 0i64.into());
+    s.deliver(
+        SimTime::ZERO,
+        ClientId(0),
+        ToServer::Completion {
+            pos: 1,
+            id: seve_world::ids::ActionId::new(ClientId(0), 0),
+            writes: w1,
+            aborted: false,
+        },
+        &mut out,
+    );
+    assert_eq!(s.last_committed(), 2);
+    assert_eq!(
+        s.zeta_s()
+            .attr(seve_world::worlds::dining::fork(2, 4), HOLDER),
+        Some(1i64.into())
+    );
+}
+
+#[test]
+fn aborted_completions_install_as_noops() {
+    let (world, mut s) = setup(4, ServerMode::Incomplete);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    let before = s.zeta_s().digest();
+    s.deliver(
+        SimTime::ZERO,
+        ClientId(0),
+        ToServer::Completion {
+            pos: 1,
+            id: seve_world::ids::ActionId::new(ClientId(0), 0),
+            writes: WriteLog::new(),
+            aborted: true,
+        },
+        &mut out,
+    );
+    assert_eq!(s.last_committed(), 1);
+    assert_eq!(s.zeta_s().digest(), before, "no-op installed");
+}
+
+// ---- Sphere routing (First / Information Bound) ----
+
+fn push_all_grabs(
+    world: &Arc<DiningWorld>,
+    s: &mut PipelineServer<DiningWorld>,
+    out: &mut Vec<(ClientId, ToClient<A>)>,
+) {
+    for c in 0..world.num_clients() as u16 {
+        submit(s, world, c, 0, out);
+    }
+}
+
+fn batch_action_positions(msg: &ToClient<A>) -> Vec<QueuePos> {
+    match msg {
+        ToClient::Batch { items } => items
+            .iter()
+            .filter(|i| matches!(i.payload, Payload::Action(_)))
+            .map(|i| i.pos)
+            .collect(),
+        _ => vec![],
+    }
+}
+
+#[test]
+fn submissions_get_no_immediate_reply() {
+    let (world, mut s) = setup(4, ServerMode::FirstBound);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    assert!(out.is_empty(), "bounded mode replies only on push cycles");
+}
+
+#[test]
+fn first_bound_pushes_everything_in_the_ring() {
+    // Simultaneous grabs around the whole ring: without dropping, the
+    // transitive closure hauls the entire ring to every client
+    // (Section III-E).
+    let (world, mut s) = setup(8, ServerMode::FirstBound);
+    let mut out = Vec::new();
+    push_all_grabs(&world, &mut s, &mut out);
+    assert!(out.is_empty());
+    s.push_tick(SimTime::from_ms(60), &mut out);
+    // Every client gets a batch; a client whose newest candidate is the
+    // last grab receives the *entire* ring as backward transitive support
+    // — the unbounded-closure behaviour of Section III-E.
+    assert_eq!(out.len(), 8);
+    let sizes: Vec<usize> = out
+        .iter()
+        .map(|(_, m)| batch_action_positions(m).len())
+        .collect();
+    assert_eq!(
+        sizes.iter().max(),
+        Some(&8),
+        "some client hauls the whole ring"
+    );
+    let total: usize = sizes.iter().sum();
+    assert!(
+        total > 8 * 4,
+        "closure support inflates pushes well beyond direct candidates: {sizes:?}"
+    );
+}
+
+#[test]
+fn info_bound_drops_chain_breakers_and_pushes_local_arcs() {
+    // Same scenario, dropping on: the ring of 64 spaced 10 apart with
+    // threshold 45 must break into arcs and every client receives far
+    // fewer than 64 actions.
+    let world = Arc::new(DiningWorld::new(DiningConfig {
+        philosophers: 64,
+        spacing: 10.0,
+        ..DiningConfig::default()
+    }));
+    let mut cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    cfg.threshold = 45.0;
+    let mut s = PipelineServer::new(Arc::clone(&world), cfg);
+    let mut out = Vec::new();
+    push_all_grabs(&world, &mut s, &mut out);
+    // Analysis tick: some grabs must drop.
+    s.tick(SimTime::from_ms(50), &mut out);
+    let drops = out
+        .iter()
+        .filter(|(_, m)| matches!(m, ToClient::Dropped { .. }))
+        .count();
+    assert!(drops > 0, "chains around the ring must break");
+    assert!(drops < 32, "but only a few drops are needed, got {drops}");
+    out.clear();
+    s.push_tick(SimTime::from_ms(60), &mut out);
+    let max_batch = out
+        .iter()
+        .map(|(_, m)| batch_action_positions(m).len())
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_batch < 20,
+        "chain breaking must localize pushes, got a batch of {max_batch}"
+    );
+}
+
+#[test]
+fn clients_always_receive_their_own_actions() {
+    let (world, mut s) = setup(16, ServerMode::InfoBound);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 5, 0, &mut out);
+    s.tick(SimTime::from_ms(50), &mut out);
+    s.push_tick(SimTime::from_ms(60), &mut out);
+    let mine: Vec<_> = out
+        .iter()
+        .filter(|(c, m)| *c == ClientId(5) && matches!(m, ToClient::Batch { .. }))
+        .collect();
+    assert_eq!(mine.len(), 1);
+}
+
+#[test]
+fn far_clients_are_not_pushed_unrelated_actions() {
+    // 64 philosophers, ring circumference 640: opposite sides are far
+    // beyond the Eq. 2 sphere for dining parameters.
+    let (world, mut s) = setup(64, ServerMode::InfoBound);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    s.tick(SimTime::from_ms(50), &mut out);
+    s.push_tick(SimTime::from_ms(60), &mut out);
+    // Client 32 (opposite side) must receive nothing.
+    assert!(
+        !out.iter().any(|(c, _)| *c == ClientId(32)),
+        "far client received an irrelevant action"
+    );
+    // Client 1 (adjacent, conflicting forks) must receive it.
+    assert!(out.iter().any(|(c, _)| *c == ClientId(1)));
+}
+
+#[test]
+fn unanalyzed_actions_are_not_pushed_when_dropping() {
+    let (world, mut s) = setup(4, ServerMode::InfoBound);
+    let mut out = Vec::new();
+    push_all_grabs(&world, &mut s, &mut out);
+    // Push before any analysis tick: nothing may go out.
+    s.push_tick(SimTime::from_ms(1), &mut out);
+    assert!(out.is_empty());
+    s.tick(SimTime::from_ms(50), &mut out);
+    out.clear();
+    s.push_tick(SimTime::from_ms(60), &mut out);
+    assert!(!out.is_empty());
+}
+
+#[test]
+fn push_period_comes_from_omega() {
+    let (_, s) = setup(4, ServerMode::InfoBound);
+    assert_eq!(
+        s.push_period().unwrap().as_micros(),
+        ProtocolConfig::default().push_period().as_micros()
+    );
+}
+
+// ---- Pipeline-level properties ----
+
+#[test]
+fn stage_profile_observes_traffic() {
+    let (world, mut s) = setup(6, ServerMode::Incomplete);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    submit(&mut s, &world, 1, 0, &mut out);
+    let stage = &s.metrics().stage;
+    assert_eq!(stage.ingress.events, 2, "one ingress per submission");
+    assert_eq!(stage.route.events, 2, "one route pass per submission");
+    assert_eq!(stage.analyze.events, 2, "one closure scan per reply");
+    assert_eq!(stage.egress.events, 2, "one emitted batch per reply");
+    assert_eq!(stage.egress_msgs, 2);
+    assert!(stage.egress_bytes > 0, "batches have nonzero wire size");
+}
+
+#[test]
+fn custom_policy_assembly_works() {
+    // `with_policies` lets a custom variant mix stages: broadcast routing
+    // with an explicit no-push policy behaves exactly like Basic mode.
+    let world = dining(4);
+    let cfg = ProtocolConfig::with_mode(ServerMode::Basic);
+    let mut s = PipelineServer::with_policies(
+        Arc::clone(&world),
+        cfg,
+        Box::new(BroadcastRouting::new(4)),
+        Box::new(NoDrop),
+        Box::new(NoPush),
+    );
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    assert_eq!(out.len(), 1);
+    assert_eq!(items_of(&out[0].1).len(), 1);
+    assert!(s.push_period().is_none());
+}

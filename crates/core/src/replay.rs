@@ -127,11 +127,7 @@ impl<A: Action> ReplayLog<A> {
 
     /// Has an action at `pos` already been inserted?
     pub fn has_action(&self, pos: QueuePos) -> bool {
-        self.items
-            .range((pos, 0, 0)..(pos, 1, 0))
-            .next()
-            .is_some()
-            || pos <= self.base_pos
+        self.items.range((pos, 0, 0)..(pos, 1, 0)).next().is_some() || pos <= self.base_pos
     }
 
     /// Insert the serialized action at `pos`, evaluating it (and any

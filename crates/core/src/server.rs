@@ -1,0 +1,68 @@
+//! The SEVE protocol suite: mode-selected configurations of the staged
+//! server pipeline.
+//!
+//! The four action-protocol variants of the paper are not separate server
+//! engines — they are policy configurations of one shared serializer
+//! pipeline ([`crate::pipeline`]), selected once at construction time from
+//! [`ProtocolConfig::mode`]:
+//!
+//! * **Basic** (Algorithm 2) — broadcast routing: deliver everything to
+//!   everyone, no commit machinery, no pushes.
+//! * **Incomplete** (Algorithms 5 + 6) — closure routing: per-submission
+//!   transitive-closure replies, blind writes, completion-driven ζ_S.
+//! * **First Bound** (§III-D) — sphere routing with ω·RTT pushes, no
+//!   drops.
+//! * **Information Bound** (Algorithm 7) — sphere routing with ω·RTT
+//!   pushes and chain-breaking drops. This is the SEVE server of the
+//!   evaluation.
+//!
+//! See [`PipelineServer::new`] for the full mode → policy table.
+
+use crate::client::SeveClient;
+use crate::config::{ProtocolConfig, ServerMode};
+use crate::engine::ProtocolSuite;
+use crate::msg::{ToClient, ToServer};
+use crate::pipeline::PipelineServer;
+use seve_world::ids::ClientId;
+use seve_world::GameWorld;
+use std::sync::Arc;
+
+/// The protocol suite for all four action-protocol variants, selected by
+/// [`ProtocolConfig::mode`].
+#[derive(Clone, Debug)]
+pub struct SeveSuite {
+    /// The shared protocol configuration.
+    pub cfg: ProtocolConfig,
+}
+
+impl SeveSuite {
+    /// A suite under the given configuration.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        Self { cfg }
+    }
+}
+
+impl<W: GameWorld> ProtocolSuite<W> for SeveSuite {
+    type Up = ToServer<W::Action>;
+    type Down = ToClient<W::Action>;
+    type Client = SeveClient<W>;
+    type Server = PipelineServer<W>;
+
+    fn name(&self) -> &'static str {
+        match self.cfg.mode {
+            ServerMode::Basic => "SEVE-basic",
+            ServerMode::Incomplete => "SEVE-incomplete",
+            ServerMode::FirstBound => "SEVE-nodrop",
+            ServerMode::InfoBound => "SEVE",
+        }
+    }
+
+    fn build(&self, world: Arc<W>) -> (Self::Server, Vec<Self::Client>) {
+        let n = world.num_clients();
+        let clients = (0..n)
+            .map(|i| SeveClient::new(ClientId(i as u16), Arc::clone(&world), &self.cfg))
+            .collect();
+        let server = PipelineServer::new(Arc::clone(&world), self.cfg.clone());
+        (server, clients)
+    }
+}

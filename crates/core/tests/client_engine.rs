@@ -20,7 +20,11 @@ fn setup(mode: ServerMode) -> (Arc<DiningWorld>, Client) {
         philosophers: 5,
         ..DiningConfig::default()
     }));
-    let client = SeveClient::new(ClientId(1), Arc::clone(&world), &ProtocolConfig::with_mode(mode));
+    let client = SeveClient::new(
+        ClientId(1),
+        Arc::clone(&world),
+        &ProtocolConfig::with_mode(mode),
+    );
     (world, client)
 }
 
@@ -50,7 +54,11 @@ fn own_action_return_matching_optimistic_pops_without_reconcile() {
     let grab = world.grab(ClientId(1), 0);
     c.submit(SimTime::ZERO, grab.clone(), &mut out);
     out.clear();
-    c.deliver(SimTime::from_ms(238), batch(vec![Item::action(1, grab)]), &mut out);
+    c.deliver(
+        SimTime::from_ms(238),
+        batch(vec![Item::action(1, grab)]),
+        &mut out,
+    );
     assert_eq!(c.pending_len(), 0);
     assert_eq!(c.metrics().reconciliations, 0);
     assert_eq!(c.metrics().response_ms.count(), 1);
@@ -95,7 +103,11 @@ fn conflicting_prior_action_triggers_reconciliation() {
     // Completion reports the abort.
     assert!(out.iter().any(|m| matches!(
         m,
-        ToServer::Completion { pos: 2, aborted: true, .. }
+        ToServer::Completion {
+            pos: 2,
+            aborted: true,
+            ..
+        }
     )));
 }
 
@@ -108,7 +120,11 @@ fn remote_writes_do_not_touch_pending_objects_in_optimistic_state() {
     // A remote action on the far side of the ring (philosopher 3: forks
     // 3 & 4) — applies to both states.
     let far = world.grab(ClientId(3), 0);
-    c.deliver(SimTime::from_ms(100), batch(vec![Item::action(1, far)]), &mut out);
+    c.deliver(
+        SimTime::from_ms(100),
+        batch(vec![Item::action(1, far)]),
+        &mut out,
+    );
     assert_eq!(c.stable().attr(fork(3, 5), HOLDER), Some(3i64.into()));
     assert_eq!(c.optimistic().attr(fork(3, 5), HOLDER), Some(3i64.into()));
     // Our pending forks stay optimistically ours ("items awaiting
@@ -126,7 +142,11 @@ fn drop_notice_rolls_back_the_optimistic_effects() {
     let id = grab.id();
     c.submit(SimTime::ZERO, grab, &mut out);
     assert_eq!(c.optimistic().attr(fork(1, 5), HOLDER), Some(1i64.into()));
-    c.deliver(SimTime::from_ms(150), ToClient::Dropped { id, pos: 1 }, &mut out);
+    c.deliver(
+        SimTime::from_ms(150),
+        ToClient::Dropped { id, pos: 1 },
+        &mut out,
+    );
     assert_eq!(c.metrics().dropped, 1);
     assert_eq!(c.pending_len(), 0);
     assert_eq!(
@@ -135,7 +155,11 @@ fn drop_notice_rolls_back_the_optimistic_effects() {
         "dropped action's optimistic writes rolled back"
     );
     assert_eq!(c.metrics().drop_notice_ms.count(), 1);
-    assert_eq!(c.metrics().response_ms.count(), 0, "drops are not responses");
+    assert_eq!(
+        c.metrics().response_ms.count(),
+        0,
+        "drops are not responses"
+    );
 }
 
 #[test]
@@ -145,7 +169,11 @@ fn basic_mode_sends_no_completions() {
     let grab = world.grab(ClientId(1), 0);
     c.submit(SimTime::ZERO, grab.clone(), &mut out);
     out.clear();
-    c.deliver(SimTime::from_ms(238), batch(vec![Item::action(1, grab)]), &mut out);
+    c.deliver(
+        SimTime::from_ms(238),
+        batch(vec![Item::action(1, grab)]),
+        &mut out,
+    );
     assert!(out.is_empty(), "no ζ_S exists in basic mode");
     assert_eq!(c.metrics().completions_sent, 0);
 }
@@ -161,7 +189,11 @@ fn redundant_mode_completes_remote_actions_too() {
     let mut c: Client = SeveClient::new(ClientId(1), Arc::clone(&world), &cfg);
     let mut out = Vec::new();
     let remote = world.grab(ClientId(3), 0);
-    c.deliver(SimTime::from_ms(100), batch(vec![Item::action(1, remote)]), &mut out);
+    c.deliver(
+        SimTime::from_ms(100),
+        batch(vec![Item::action(1, remote)]),
+        &mut out,
+    );
     assert!(matches!(out[0], ToServer::Completion { pos: 1, .. }));
 }
 
@@ -188,7 +220,11 @@ fn eval_records_track_positions_and_digests() {
     let mut out = Vec::new();
     let a = world.grab(ClientId(2), 0);
     let expected = a.evaluate(world.env(), &world.initial_state());
-    c.deliver(SimTime::from_ms(100), batch(vec![Item::action(1, a)]), &mut out);
+    c.deliver(
+        SimTime::from_ms(100),
+        batch(vec![Item::action(1, a)]),
+        &mut out,
+    );
     let recs = c.metrics_mut().take_eval_records();
     assert_eq!(recs.len(), 1);
     assert_eq!(recs[0].pos, 1);
@@ -202,8 +238,8 @@ fn eq2_bound_holds_for_every_pushed_action() {
     // client lies within the Eq. 1 sphere of the client plus at most the
     // chain threshold (support chains cannot stretch farther — Algorithm 7
     // dropped anything that would).
-    use seve_core::server::bounded::BoundedServer;
     use seve_core::engine::ServerNode;
+    use seve_core::pipeline::PipelineServer;
     use seve_world::worlds::dining::DiningWorld as DW;
 
     let world = Arc::new(DW::new(DiningConfig {
@@ -212,7 +248,7 @@ fn eq2_bound_holds_for_every_pushed_action() {
         ..DiningConfig::default()
     }));
     let cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
-    let mut server: BoundedServer<DW> = BoundedServer::new(Arc::clone(&world), cfg.clone());
+    let mut server: PipelineServer<DW> = PipelineServer::new(Arc::clone(&world), cfg.clone());
     let mut down = Vec::new();
     for i in 0..64u16 {
         server.deliver(
@@ -235,7 +271,9 @@ fn eq2_bound_holds_for_every_pushed_action() {
     let bound = eq1 + cfg.threshold;
     let env = world.env();
     for (client, msg) in &down {
-        let ToClient::Batch { items } = msg else { continue };
+        let ToClient::Batch { items } = msg else {
+            continue;
+        };
         let client_pos = env.seat(client.index());
         for item in items {
             if let Payload::Action(a) = &item.payload {

@@ -95,7 +95,12 @@ fn gen_actions(n: usize) -> impl Strategy<Value = Vec<GenAction>> {
 /// stable, restricted to positions ≤ the newest candidate and entries not
 /// already sent to the client.
 fn naive_closure(
-    entries: &[(QueuePos, &GenAction, bool /* sent-to-client */, bool /* dropped */)],
+    entries: &[(
+        QueuePos,
+        &GenAction,
+        bool, /* sent-to-client */
+        bool, /* dropped */
+    )],
     candidates: &[QueuePos],
 ) -> BTreeSet<QueuePos> {
     let newest = match candidates.last() {

@@ -105,11 +105,7 @@ impl Summary {
             return 0.0;
         }
         let m = self.mean();
-        let var = self
-            .samples
-            .iter()
-            .map(|&x| (x - m) * (x - m))
-            .sum::<f64>()
+        let var = self.samples.iter().map(|&x| (x - m) * (x - m)).sum::<f64>()
             / self.samples.len() as f64;
         var.sqrt()
     }

@@ -9,8 +9,9 @@
 //! and routes their actions until every client says goodbye, then prints
 //! the server-side report. World parameters must match the clients'.
 
-use seve_core::server::{AnySeveServer, SeveSuite};
 use seve_core::engine::ProtocolSuite;
+use seve_core::pipeline::PipelineServer;
+use seve_core::server::SeveSuite;
 use seve_rt::cli::{build_protocol, build_world, parse_common};
 use seve_rt::run_server;
 use seve_world::worlds::manhattan::ManhattanWorld;
@@ -57,8 +58,7 @@ fn main() {
         use seve_world::GameWorld;
         world.initial_state().digest()
     };
-    let (server, _clients): (AnySeveServer<ManhattanWorld>, _) =
-        suite.build(world);
+    let (server, _clients): (PipelineServer<ManhattanWorld>, _) = suite.build(world);
     match run_server(server, listener, opts.clients, tick, push, digest) {
         Ok(report) => {
             println!("session complete:");

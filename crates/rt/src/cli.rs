@@ -48,15 +48,21 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonOpts, St
         };
         match arg.as_str() {
             "--clients" => {
-                opts.clients = grab("--clients")?.parse().map_err(|e| format!("--clients: {e}"))?
+                opts.clients = grab("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
             }
             "--walls" => {
-                opts.walls = grab("--walls")?.parse().map_err(|e| format!("--walls: {e}"))?
+                opts.walls = grab("--walls")?
+                    .parse()
+                    .map_err(|e| format!("--walls: {e}"))?
             }
-            "--seed" => opts.seed = grab("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
-            "--rtt" => {
-                opts.rtt_ms = grab("--rtt")?.parse().map_err(|e| format!("--rtt: {e}"))?
+            "--seed" => {
+                opts.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
             }
+            "--rtt" => opts.rtt_ms = grab("--rtt")?.parse().map_err(|e| format!("--rtt: {e}"))?,
             "--mode" => {
                 opts.mode = match grab("--mode")?.as_str() {
                     "basic" => ServerMode::Basic,
@@ -108,8 +114,16 @@ mod tests {
     fn defaults_and_overrides() {
         let o = parse(&[]).unwrap();
         assert_eq!(o.clients, 4);
-        let o = parse(&["--clients", "12", "--mode", "incomplete", "--rtt", "100", "extra"])
-            .unwrap();
+        let o = parse(&[
+            "--clients",
+            "12",
+            "--mode",
+            "incomplete",
+            "--rtt",
+            "100",
+            "extra",
+        ])
+        .unwrap();
         assert_eq!(o.clients, 12);
         assert_eq!(o.mode, ServerMode::Incomplete);
         assert_eq!(o.rtt_ms, 100);

@@ -8,6 +8,8 @@
 use crate::frame::{write_msg, FrameError, FrameReader};
 use crate::server::{RtDown, RtUp};
 use crossbeam::channel::{self, RecvTimeoutError};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 use seve_core::client::SeveClient;
 use seve_core::config::ProtocolConfig;
 use seve_core::engine::ClientNode;
@@ -17,8 +19,6 @@ use seve_net::time::SimTime;
 use seve_world::ids::ClientId;
 use seve_world::worlds::Workload;
 use seve_world::GameWorld;
-use serde::de::DeserializeOwned;
-use serde::Serialize;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::{Duration, Instant};

@@ -5,7 +5,6 @@
 //! corrupted length prefix from allocating the moon.
 
 use crate::wire::{self, WireError};
-use bytes::{Buf, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::io::{self, Read, Write};
@@ -68,7 +67,10 @@ pub fn write_msg<T: Serialize>(stream: &mut TcpStream, msg: &T) -> Result<usize,
 /// A buffered frame reader over a stream.
 pub struct FrameReader {
     stream: TcpStream,
-    buf: BytesMut,
+    /// Unconsumed bytes; `start` indexes the first live byte so each frame
+    /// doesn't shift the whole buffer.
+    buf: Vec<u8>,
+    start: usize,
 }
 
 impl FrameReader {
@@ -76,22 +78,37 @@ impl FrameReader {
     pub fn new(stream: TcpStream) -> Self {
         Self {
             stream,
-            buf: BytesMut::with_capacity(8 * 1024),
+            buf: Vec::with_capacity(8 * 1024),
+            start: 0,
+        }
+    }
+
+    fn buffered(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.start += n;
+        // Reclaim space once the dead prefix dominates the buffer.
+        if self.start > 8 * 1024 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
         }
     }
 
     /// Read the next message, blocking. `Err(Closed)` on orderly shutdown.
     pub fn read_msg<T: DeserializeOwned>(&mut self) -> Result<T, FrameError> {
         loop {
-            if self.buf.len() >= 4 {
-                let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+            if self.buffered().len() >= 4 {
+                let len =
+                    u32::from_le_bytes(self.buffered()[..4].try_into().expect("4 bytes")) as usize;
                 if len > MAX_FRAME {
                     return Err(FrameError::Oversize(len));
                 }
-                if self.buf.len() >= 4 + len {
-                    self.buf.advance(4);
-                    let payload = self.buf.split_to(len);
-                    return Ok(wire::from_bytes(&payload)?);
+                if self.buffered().len() >= 4 + len {
+                    let msg = wire::from_bytes(&self.buffered()[4..4 + len])?;
+                    self.consume(4 + len);
+                    return Ok(msg);
                 }
             }
             let mut chunk = [0u8; 8 * 1024];

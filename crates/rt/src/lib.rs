@@ -28,4 +28,4 @@ pub mod server;
 pub mod wire;
 
 pub use client::{run_client, ClientReport};
-pub use server::{run_server, ServerReport};
+pub use server::{fan_out, run_server, ServerReport};

@@ -8,13 +8,13 @@
 
 use crate::frame::{write_msg, FrameError, FrameReader};
 use crossbeam::channel::{self, RecvTimeoutError};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
 use seve_core::engine::ServerNode;
 use seve_core::metrics::ServerMetrics;
 use seve_net::time::SimTime;
 use seve_world::ids::ClientId;
 use seve_world::GameWorld;
-use serde::de::DeserializeOwned;
-use serde::{Deserialize, Serialize};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
@@ -79,7 +79,7 @@ where
     W: GameWorld,
     S: ServerNode<W>,
     S::Up: DeserializeOwned + 'static,
-    S::Down: Serialize + Clone,
+    S::Down: Serialize + Clone + Sync,
 {
     let (tx, rx) = channel::unbounded::<Inbound<S::Up>>();
     let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
@@ -92,7 +92,11 @@ where
         let mut reader = FrameReader::new(stream.try_clone()?);
         // The first frame must identify the client.
         let hello: RtUp<S::Up> = reader.read_msg()?;
-        let RtUp::Hello { client, world_digest: theirs } = hello else {
+        let RtUp::Hello {
+            client,
+            world_digest: theirs,
+        } = hello
+        else {
             return Err(FrameError::Codec(crate::wire::WireError(
                 "expected Hello as the first frame".into(),
             )));
@@ -166,22 +170,26 @@ where
         if now_i >= next_tick {
             out.clear();
             engine.tick(now(epoch), &mut out);
-            bytes_out += flush(&mut writers, &out)?;
+            bytes_out += fan_out(&mut writers, &out)?;
             next_tick += tick;
         }
         if pushes && now_i >= next_push {
             out.clear();
             engine.push_tick(now(epoch), &mut out);
-            bytes_out += flush(&mut writers, &out)?;
+            bytes_out += fan_out(&mut writers, &out)?;
             next_push += push;
         }
-        let deadline = if pushes { next_tick.min(next_push) } else { next_tick };
+        let deadline = if pushes {
+            next_tick.min(next_push)
+        } else {
+            next_tick
+        };
         let wait = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(wait) {
             Ok(Inbound::Msg(from, msg)) => {
                 out.clear();
                 engine.deliver(now(epoch), from, msg, &mut out);
-                bytes_out += flush(&mut writers, &out)?;
+                bytes_out += fan_out(&mut writers, &out)?;
             }
             Ok(Inbound::Done) => {
                 done += 1;
@@ -207,15 +215,71 @@ where
     })
 }
 
-fn flush<M: Serialize + Clone>(
+/// Write one engine step's outbound batch to the client sockets, returning
+/// the bytes written.
+///
+/// The parallel egress stage of the real-time host: when the batch targets
+/// more than one client, the per-client message groups fan out across
+/// scoped worker threads, one worker per destination client, each owning
+/// that client's socket for the duration of the call. All of a client's
+/// messages are written by exactly one worker in batch order, and
+/// successive `fan_out` calls are sequential, so per-client FIFO delivery
+/// — the ordering contract the replay log depends on — is preserved while
+/// slow receivers no longer stall the whole fan-out. With zero or one
+/// destination the call degenerates to a plain sequential write loop.
+pub fn fan_out<M: Serialize + Clone + Sync>(
     writers: &mut [Option<TcpStream>],
     out: &[(ClientId, M)],
 ) -> Result<u64, FrameError> {
-    let mut bytes = 0u64;
+    // Group messages by destination, preserving order within each group.
+    let mut groups: Vec<Vec<&M>> = (0..writers.len()).map(|_| Vec::new()).collect();
     for (dest, msg) in out {
-        if let Some(w) = writers[dest.index()].as_mut() {
-            bytes += write_msg(w, &RtDown::Msg(msg.clone()))? as u64;
+        if writers[dest.index()].is_some() {
+            groups[dest.index()].push(msg);
         }
+    }
+    if groups.iter().filter(|g| !g.is_empty()).count() <= 1 {
+        // Nothing to overlap: write sequentially on this thread.
+        let mut bytes = 0u64;
+        for (dest, msg) in out {
+            if let Some(w) = writers[dest.index()].as_mut() {
+                bytes += write_msg(w, &RtDown::Msg(msg.clone()))? as u64;
+            }
+        }
+        return Ok(bytes);
+    }
+    // One worker per busy destination. The writer slice is partitioned into
+    // disjoint `&mut` sockets, so workers cannot interleave on a stream.
+    let lanes: Vec<(&mut TcpStream, &[&M])> = writers
+        .iter_mut()
+        .zip(groups.iter())
+        .filter_map(|(w, g)| match w {
+            Some(w) if !g.is_empty() => Some((w, g.as_slice())),
+            _ => None,
+        })
+        .collect();
+    let results = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|(w, msgs)| {
+                s.spawn(move |_| -> Result<u64, FrameError> {
+                    let mut bytes = 0u64;
+                    for msg in msgs {
+                        bytes += write_msg(w, &RtDown::Msg((*msg).clone()))? as u64;
+                    }
+                    Ok(bytes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fan-out worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("fan-out scope panicked");
+    let mut bytes = 0u64;
+    for r in results {
+        bytes += r?;
     }
     Ok(bytes)
 }

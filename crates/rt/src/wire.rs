@@ -343,17 +343,15 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let code = u32::from_le_bytes(self.take_array()?);
-        visitor.visit_char(char::from_u32(code).ok_or_else(|| {
-            WireError(format!("invalid char code {code}"))
-        })?)
+        visitor.visit_char(
+            char::from_u32(code).ok_or_else(|| WireError(format!("invalid char code {code}")))?,
+        )
     }
 
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.take_len()?;
         let bytes = self.take(len)?;
-        visitor.visit_str(
-            std::str::from_utf8(bytes).map_err(|e| WireError(e.to_string()))?,
-        )
+        visitor.visit_str(std::str::from_utf8(bytes).map_err(|e| WireError(e.to_string()))?)
     }
 
     fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
@@ -399,7 +397,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.take_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -407,7 +408,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, WireError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -421,7 +425,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.take_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
+        visitor.visit_map(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -447,7 +454,9 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, WireError> {
-        Err(WireError("cannot skip values in a non-self-describing format".into()))
+        Err(WireError(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
     }
 
     fn is_human_readable(&self) -> bool {
@@ -589,7 +598,10 @@ mod tests {
             h: (4, 5),
         };
         assert_eq!(roundtrip(&v).unwrap(), v);
-        let none = Mixed { e: None, ..roundtrip(&v).unwrap() };
+        let none = Mixed {
+            e: None,
+            ..roundtrip(&v).unwrap()
+        };
         assert_eq!(roundtrip(&none).unwrap(), none);
     }
 

@@ -5,11 +5,12 @@
 
 use seve_core::config::{ProtocolConfig, ServerMode};
 use seve_core::consistency::ConsistencyOracle;
-use seve_core::server::bounded::BoundedServer;
-use seve_core::server::incomplete::IncompleteServer;
+use seve_core::pipeline::PipelineServer;
 use seve_rt::{run_client, run_server};
 use seve_world::ids::ClientId;
-use seve_world::worlds::manhattan::{ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern};
+use seve_world::worlds::manhattan::{
+    ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern,
+};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,25 +50,16 @@ fn run_session(mode: ServerMode) {
         use seve_world::GameWorld;
         w.initial_state().digest()
     };
-    let server = std::thread::spawn(move || match mode {
-        ServerMode::Incomplete => run_server(
-            IncompleteServer::new(server_world, server_cfg),
+    let server = std::thread::spawn(move || {
+        run_server(
+            PipelineServer::new(server_world, server_cfg),
             listener,
             N,
             Duration::from_millis(5),
             Duration::from_millis(5),
             digest,
         )
-        .expect("server runs"),
-        _ => run_server(
-            BoundedServer::new(server_world, server_cfg),
-            listener,
-            N,
-            Duration::from_millis(5),
-            Duration::from_millis(5),
-            digest,
-        )
-        .expect("server runs"),
+        .expect("server runs")
     });
 
     let mut client_handles = Vec::new();
@@ -134,7 +126,6 @@ fn wire_roundtrips_a_real_move_action() {
         .next_action(ClientId(1), 0, &w.initial_state(), 0)
         .expect("move");
     let bytes = seve_rt::wire::to_bytes(&action).unwrap();
-    let back: <ManhattanWorld as GameWorld>::Action =
-        seve_rt::wire::from_bytes(&bytes).unwrap();
+    let back: <ManhattanWorld as GameWorld>::Action = seve_rt::wire::from_bytes(&bytes).unwrap();
     assert_eq!(format!("{action:?}"), format!("{back:?}"));
 }

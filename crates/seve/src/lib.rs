@@ -53,7 +53,9 @@ pub use seve_world as world;
 
 /// The commonly-used names, one `use` away.
 pub mod prelude {
-    pub use seve_baselines::{BroadcastSuite, CentralSuite, LockingSuite, RingSuite, TimestampSuite};
+    pub use seve_baselines::{
+        BroadcastSuite, CentralSuite, LockingSuite, RingSuite, TimestampSuite,
+    };
     pub use seve_core::config::{ProtocolConfig, ServerMode};
     pub use seve_core::consistency::ConsistencyOracle;
     pub use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode};
@@ -69,7 +71,5 @@ pub mod prelude {
     };
     pub use seve_world::worlds::trade::{TradeConfig, TradeWorkload, TradeWorld};
     pub use seve_world::worlds::Workload;
-    pub use seve_world::{
-        Action, ActionId, ClientId, GameWorld, ObjectId, Outcome, WorldState,
-    };
+    pub use seve_world::{Action, ActionId, ClientId, GameWorld, ObjectId, Outcome, WorldState};
 }

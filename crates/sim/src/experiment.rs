@@ -134,10 +134,7 @@ pub fn table1() -> Vec<(&'static str, String)> {
         ),
         (
             "Maximum bandwidth",
-            format!(
-                "{}Kbps",
-                s.bandwidth_bps.map(|b| b / 1000).unwrap_or(0)
-            ),
+            format!("{}Kbps", s.bandwidth_bps.map(|b| b / 1000).unwrap_or(0)),
         ),
         ("Moves per client", s.moves_per_client.to_string()),
         (
@@ -168,11 +165,7 @@ pub fn scalability_sweep(scale: Scale) -> Vec<(String, usize, RunResult)> {
     for &n in &client_counts(scale) {
         let world = paper_world(n, scale);
         let sim = paper_sim(scale);
-        out.push((
-            "Central".to_string(),
-            n,
-            run_central(&world, &sim),
-        ));
+        out.push(("Central".to_string(), n, run_central(&world, &sim)));
         out.push((
             "SEVE".to_string(),
             n,
@@ -183,11 +176,7 @@ pub fn scalability_sweep(scale: Scale) -> Vec<(String, usize, RunResult)> {
                 &sim,
             ),
         ));
-        out.push((
-            "Broadcast".to_string(),
-            n,
-            run_broadcast(&world, &sim),
-        ));
+        out.push(("Broadcast".to_string(), n, run_broadcast(&world, &sim)));
     }
     out
 }
@@ -416,9 +405,7 @@ pub fn table2(scale: Scale) -> Figure {
         x_label: "move effect range".into(),
         y_label: "% moves dropped".into(),
         series: vec![Series::new("% dropped", points)],
-        notes: vec![
-            "paper: 1 -> 0, 3 -> 0, 5 -> 0.01, 7 -> 1.53, 9 -> 4.03, 11 -> 8.87".into(),
-        ],
+        notes: vec!["paper: 1 -> 0, 3 -> 0, 5 -> 0.01, 7 -> 1.53, 9 -> 4.03, 11 -> 8.87".into()],
     }
 }
 
@@ -640,35 +627,6 @@ pub fn ablation_optimizations(scale: Scale) -> Figure {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table1_matches_paper_rows() {
-        let rows = table1();
-        let get = |k: &str| {
-            rows.iter()
-                .find(|(rk, _)| *rk == k)
-                .map(|(_, v)| v.clone())
-                .unwrap()
-        };
-        assert_eq!(get("Virtual world size"), "1000 x 1000");
-        assert_eq!(get("Average latency (RTT)"), "238ms");
-        assert_eq!(get("Maximum bandwidth"), "100Kbps");
-        assert_eq!(get("Move effect range"), "10units");
-        assert_eq!(get("Avatar visibility"), "30units");
-        assert!(get("Threshold").contains("45"));
-    }
-
-    #[test]
-    fn dense_world_is_dense() {
-        let w = dense_world(20.0, 10.0, 4.0, Scale::Quick);
-        let visible = w.avg_visible(&w.initial_state(), 20.0);
-        assert!(visible > 10.0, "crowd must be dense, got {visible}");
-    }
-}
-
 /// Extra experiment (quantifying Figure 2's argument): RING's consistency
 /// violations as a function of its visibility radius. Bigger visibility
 /// means fewer missed causal dependencies — but even generous radii leak,
@@ -697,8 +655,8 @@ pub fn ring_inconsistency(scale: Scale) -> Figure {
     for &r in &radii {
         let suite = seve_baselines::RingSuite::new(r);
         let mut wl = CombatWorkload::new(Arc::clone(&world));
-        let run = crate::harness::Simulation::new(Arc::clone(&world), &suite, sim.clone())
-            .run(&mut wl);
+        let run =
+            crate::harness::Simulation::new(Arc::clone(&world), &suite, sim.clone()).run(&mut wl);
         let pct = if run.evals_checked > 0 {
             100.0 * run.violations as f64 / run.evals_checked as f64
         } else {
@@ -727,5 +685,34 @@ pub fn ring_inconsistency(scale: Scale) -> Figure {
         y_label: "% evaluations diverged".into(),
         series: vec![Series::new("RING", points)],
         notes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_rows() {
+        let rows = table1();
+        let get = |k: &str| {
+            rows.iter()
+                .find(|(rk, _)| *rk == k)
+                .map(|(_, v)| v.clone())
+                .unwrap()
+        };
+        assert_eq!(get("Virtual world size"), "1000 x 1000");
+        assert_eq!(get("Average latency (RTT)"), "238ms");
+        assert_eq!(get("Maximum bandwidth"), "100Kbps");
+        assert_eq!(get("Move effect range"), "10units");
+        assert_eq!(get("Avatar visibility"), "30units");
+        assert!(get("Threshold").contains("45"));
+    }
+
+    #[test]
+    fn dense_world_is_dense() {
+        let w = dense_world(20.0, 10.0, 4.0, Scale::Quick);
+        let visible = w.avg_visible(&w.initial_state(), 20.0);
+        assert!(visible > 10.0, "crowd must be dense, got {visible}");
     }
 }

@@ -13,6 +13,8 @@
 //! model — the apples-to-apples requirement of the evaluation.
 
 use crate::machine::Machine;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use seve_core::consistency::ConsistencyOracle;
 use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode, WireSize};
 use seve_core::metrics::ServerMetrics;
@@ -23,8 +25,6 @@ use seve_net::time::{SimDuration, SimTime};
 use seve_world::ids::ClientId;
 use seve_world::worlds::Workload;
 use seve_world::GameWorld;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// Testbed parameters. Defaults are Table I.
@@ -138,15 +138,25 @@ impl RunResult {
 }
 
 enum Ev<U, D> {
-    Move { client: usize },
+    Move {
+        client: usize,
+    },
     /// A message arriving at the server from `client`.
-    Up { client: usize, msg: U },
+    Up {
+        client: usize,
+        msg: U,
+    },
     /// A message arriving at client `client`.
-    Down { client: usize, msg: D },
+    Down {
+        client: usize,
+        msg: D,
+    },
     /// The server machine may be free: drain its inbox.
     WakeServer,
     /// Client `client`'s machine may be free: drain its inbox.
-    WakeClient { client: usize },
+    WakeClient {
+        client: usize,
+    },
     Tick,
     Push,
 }
@@ -202,7 +212,11 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
         }
         let last_move = next_move
             .iter()
-            .map(|t| *t + cfg.move_period.scaled((cfg.moves_per_client.saturating_sub(1)) as f64))
+            .map(|t| {
+                *t + cfg
+                    .move_period
+                    .scaled((cfg.moves_per_client.saturating_sub(1)) as f64)
+            })
             .max()
             .unwrap_or(SimTime::ZERO);
         let hard_end = last_move + cfg.drain;
@@ -243,8 +257,7 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
                     let seq = c.next_seq();
                     let id = ClientId(client as u16);
                     up_out.clear();
-                    if let Some(action) =
-                        workload.next_action(id, seq, c.optimistic(), now.as_ms())
+                    if let Some(action) = workload.next_action(id, seq, c.optimistic(), now.as_ms())
                     {
                         let cost = c.submit(now, action, &mut up_out);
                         let done = client_mach[client].run(now, cost);
@@ -271,7 +284,13 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
                     let done = server_mach.run(now, cost);
                     for (dest, m) in down_out.drain(..) {
                         let arrive = down_links[dest.index()].send(done, m.wire_bytes());
-                        queue.schedule(arrive, Ev::Down { client: dest.index(), msg: m });
+                        queue.schedule(
+                            arrive,
+                            Ev::Down {
+                                client: dest.index(),
+                                msg: m,
+                            },
+                        );
                     }
                     if !server_inbox.is_empty() {
                         queue.schedule(done, Ev::WakeServer);
@@ -291,7 +310,13 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
                     let done = server_mach.run(now, cost);
                     for (dest, m) in down_out.drain(..) {
                         let arrive = down_links[dest.index()].send(done, m.wire_bytes());
-                        queue.schedule(arrive, Ev::Down { client: dest.index(), msg: m });
+                        queue.schedule(
+                            arrive,
+                            Ev::Down {
+                                client: dest.index(),
+                                msg: m,
+                            },
+                        );
                     }
                     if !server_inbox.is_empty() {
                         queue.schedule(done, Ev::WakeServer);
@@ -345,7 +370,13 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
                     let done = server_mach.run(now, cost);
                     for (dest, m) in down_out.drain(..) {
                         let arrive = down_links[dest.index()].send(done, m.wire_bytes());
-                        queue.schedule(arrive, Ev::Down { client: dest.index(), msg: m });
+                        queue.schedule(
+                            arrive,
+                            Ev::Down {
+                                client: dest.index(),
+                                msg: m,
+                            },
+                        );
                     }
                     tick_nominal += cfg.tick;
                     if tick_nominal <= hard_end {
@@ -362,7 +393,13 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
                     let done = server_mach.run(now, cost);
                     for (dest, m) in down_out.drain(..) {
                         let arrive = down_links[dest.index()].send(done, m.wire_bytes());
-                        queue.schedule(arrive, Ev::Down { client: dest.index(), msg: m });
+                        queue.schedule(
+                            arrive,
+                            Ev::Down {
+                                client: dest.index(),
+                                msg: m,
+                            },
+                        );
                     }
                     let p = push_period.expect("push event only scheduled with a period");
                     push_nominal += p;
@@ -487,7 +524,10 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
         let runs = (0..repeats)
             .map(|i| {
                 let mut cfg = self.cfg.clone();
-                cfg.seed = cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1);
+                cfg.seed = cfg
+                    .seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15 | 1);
                 let sim = Simulation::new(Arc::clone(&self.world), self.suite, cfg);
                 let mut wl = make_workload();
                 sim.run(wl.as_mut())

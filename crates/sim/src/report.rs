@@ -2,6 +2,7 @@
 //! tables, plus key/value tables (Table I) — the format the `repro`
 //! binary prints and `EXPERIMENTS.md` records.
 
+use seve_core::metrics::StageMetrics;
 use std::fmt::Write as _;
 
 /// One plotted line: a label and `(x, y)` points.
@@ -95,6 +96,43 @@ impl Figure {
     }
 }
 
+/// Render the wall-clock pipeline stage profile of one server run.
+///
+/// Stage timings measure the host implementation, not the simulated cost
+/// model, so they vary run to run; `repro` prints this block to stderr to
+/// keep the figure output on stdout byte-stable.
+pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== pipeline stage profile — {label} ==");
+    let _ = writeln!(
+        out,
+        "  {:<9} {:>10} {:>12} {:>10}",
+        "stage", "events", "total ms", "mean µs"
+    );
+    for (name, p) in [
+        ("ingress", &stage.ingress),
+        ("serialize", &stage.serialize),
+        ("analyze", &stage.analyze),
+        ("route", &stage.route),
+        ("egress", &stage.egress),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {:<9} {:>10} {:>12.3} {:>10.3}",
+            name,
+            p.events,
+            p.micros() / 1_000.0,
+            p.mean_us()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  egress emitted {} messages, {} wire bytes",
+        stage.egress_msgs, stage.egress_bytes
+    );
+    out
+}
+
 /// Render a key/value settings table (Table I style).
 pub fn render_settings(title: &str, rows: &[(&str, String)]) -> String {
     let mut out = String::new();
@@ -139,6 +177,21 @@ mod tests {
         assert!(text.contains("20.00"));
         assert!(text.contains('-'), "missing sample rendered as a dash");
         assert!(text.contains("note: hello"));
+    }
+
+    #[test]
+    fn stage_profile_lists_every_stage() {
+        let mut stage = StageMetrics::default();
+        stage.ingress.record(2_000);
+        stage.egress.record(1_000);
+        stage.egress_msgs = 3;
+        stage.egress_bytes = 120;
+        let text = render_stage_profile("SEVE @ 8 clients", &stage);
+        for name in ["ingress", "serialize", "analyze", "route", "egress"] {
+            assert!(text.contains(name), "missing stage {name}");
+        }
+        assert!(text.contains("SEVE @ 8 clients"));
+        assert!(text.contains("3 messages, 120 wire bytes"));
     }
 
     #[test]

@@ -66,11 +66,15 @@ fn check_invariants(name: &str, r: &RunResult) {
 fn accounting_invariants_hold_for_every_suite() {
     check_invariants(
         "seve",
-        &run(&SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound))),
+        &run(&SeveSuite::new(ProtocolConfig::with_mode(
+            ServerMode::InfoBound,
+        ))),
     );
     check_invariants(
         "basic",
-        &run(&SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic))),
+        &run(&SeveSuite::new(ProtocolConfig::with_mode(
+            ServerMode::Basic,
+        ))),
     );
     check_invariants("central", &run(&CentralSuite::with_interest_radius(30.0)));
     check_invariants("broadcast", &run(&BroadcastSuite::default()));
@@ -79,7 +83,9 @@ fn accounting_invariants_hold_for_every_suite() {
 
 #[test]
 fn nearly_all_submissions_get_responses_after_drain() {
-    let r = run(&SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound)));
+    let r = run(&SeveSuite::new(ProtocolConfig::with_mode(
+        ServerMode::InfoBound,
+    )));
     let resolved = r.response_ms.count() as u64 + r.dropped;
     assert!(
         resolved * 100 >= r.submitted * 95,

@@ -187,7 +187,10 @@ mod tests {
 
     #[test]
     fn outcome_digest_separates_abort_from_empty_ok() {
-        assert_ne!(Outcome::abort().digest(), Outcome::ok(WriteLog::new()).digest());
+        assert_ne!(
+            Outcome::abort().digest(),
+            Outcome::ok(WriteLog::new()).digest()
+        );
     }
 
     #[test]

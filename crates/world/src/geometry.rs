@@ -317,7 +317,10 @@ impl Aabb {
     /// Clamp a point into the box.
     #[inline]
     pub fn clamp(&self, p: Vec2) -> Vec2 {
-        Vec2::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Vec2::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 }
 

@@ -13,7 +13,9 @@ use std::fmt;
 /// replicated and mutated by actions. Identifiers are dense small integers
 /// assigned by the world constructor, which lets spatial indexes and
 /// per-object tables use plain vectors.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ObjectId(pub u32);
 
 impl ObjectId {
@@ -39,7 +41,9 @@ impl fmt::Display for ObjectId {
 /// Identifier of a client (a player's machine running the client program).
 ///
 /// The server is not a client; it has no `ClientId`.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ClientId(pub u16);
 
 impl ClientId {
@@ -68,7 +72,9 @@ impl fmt::Display for ClientId {
 /// number, so clients can mint identifiers without coordination. The *global*
 /// order of actions is established separately, by the server's serialization
 /// queue (the `pos(a)` of Algorithm 2).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct ActionId {
     /// The client that issued the action.
     pub client: ClientId,
@@ -101,7 +107,9 @@ impl fmt::Display for ActionId {
 /// The paper models every participant as a "high-dimensional tuple";
 /// attributes are the dimensions (position, heading, health, ...). Each
 /// concrete world defines its own attribute vocabulary as constants.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct AttrId(pub u16);
 
 impl fmt::Debug for AttrId {

@@ -137,7 +137,11 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted() {
-        let o = WorldObject::from_attrs([(C, Value::Bool(true)), (A, Value::I64(0)), (B, Value::F64(1.0))]);
+        let o = WorldObject::from_attrs([
+            (C, Value::Bool(true)),
+            (A, Value::I64(0)),
+            (B, Value::F64(1.0)),
+        ]);
         let order: Vec<AttrId> = o.iter().map(|(a, _)| a).collect();
         assert_eq!(order, vec![A, B, C]);
     }

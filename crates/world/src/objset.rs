@@ -245,7 +245,13 @@ mod tests {
         s.union_with(&set(&[2, 3, 9]));
         assert_eq!(
             s.as_slice(),
-            &[ObjectId(1), ObjectId(2), ObjectId(3), ObjectId(5), ObjectId(9)]
+            &[
+                ObjectId(1),
+                ObjectId(2),
+                ObjectId(3),
+                ObjectId(5),
+                ObjectId(9)
+            ]
         );
         let mut e = ObjectSet::new();
         e.union_with(&set(&[4]));

@@ -169,7 +169,11 @@ mod tests {
     fn radius_is_inclusive_boundary_behaviour() {
         let mut g = grid();
         g.insert(1, Vec2::new(50.0, 50.0));
-        assert_eq!(g.count_within(Vec2::new(40.0, 50.0), 10.0), 1, "exactly at radius");
+        assert_eq!(
+            g.count_within(Vec2::new(40.0, 50.0), 10.0),
+            1,
+            "exactly at radius"
+        );
         assert_eq!(g.count_within(Vec2::new(39.9, 50.0), 10.0), 0);
     }
 
@@ -202,9 +206,13 @@ mod tests {
         let mut pts = Vec::new();
         let mut x: u64 = 0x12345678;
         for k in 0..500u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let px = ((x >> 16) % 2000) as f64 / 10.0;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let py = ((x >> 16) % 2000) as f64 / 10.0;
             let p = Vec2::new(px, py);
             g.insert(k, p);
@@ -215,7 +223,11 @@ mod tests {
             (Vec2::new(0.0, 0.0), 50.0),
             (Vec2::new(199.0, 3.0), 10.0),
         ] {
-            let mut got: Vec<u32> = g.query_within(center, radius).iter().map(|&(k, _)| k).collect();
+            let mut got: Vec<u32> = g
+                .query_within(center, radius)
+                .iter()
+                .map(|&(k, _)| k)
+                .collect();
             got.sort_unstable();
             let mut want: Vec<u32> = pts
                 .iter()

@@ -442,7 +442,9 @@ mod tests {
         let mut w = WorldState::new();
         w.put(ObjectId(3), obj(3));
         w.put(ObjectId(5), obj(5));
-        let set: ObjectSet = [ObjectId(3), ObjectId(4), ObjectId(5)].into_iter().collect();
+        let set: ObjectSet = [ObjectId(3), ObjectId(4), ObjectId(5)]
+            .into_iter()
+            .collect();
         let snap = w.snapshot_of(&set);
         assert_eq!(snap.len(), 2, "missing object 4 omitted");
         let mut w2 = WorldState::new();
@@ -498,9 +500,6 @@ mod tests {
         assert_eq!(l1.fold_digest(0), l2.fold_digest(0));
         l2.push(ObjectId(2), HP, Value::I64(5));
         assert_ne!(l1.fold_digest(0), l2.fold_digest(0));
-        assert_eq!(
-            l2.touched_objects().as_slice(),
-            &[ObjectId(1), ObjectId(2)]
-        );
+        assert_eq!(l2.touched_objects().as_slice(), &[ObjectId(1), ObjectId(2)]);
     }
 }

@@ -164,9 +164,21 @@ mod tests {
     fn walls_within_counts_by_distance_to_segment() {
         let wall = Segment::new(Vec2::new(50.0, 50.0), Vec2::new(60.0, 50.0));
         let t = Terrain::from_walls(bounds(), vec![wall]);
-        assert_eq!(t.walls_within(Vec2::new(65.0, 50.0), 5.0), 1, "5 from endpoint");
-        assert_eq!(t.walls_within(Vec2::new(55.0, 58.0), 8.5), 1, "8 above midsection");
-        assert_eq!(t.walls_within(Vec2::new(70.0, 50.0), 5.0), 0, "10 from endpoint");
+        assert_eq!(
+            t.walls_within(Vec2::new(65.0, 50.0), 5.0),
+            1,
+            "5 from endpoint"
+        );
+        assert_eq!(
+            t.walls_within(Vec2::new(55.0, 58.0), 8.5),
+            1,
+            "8 above midsection"
+        );
+        assert_eq!(
+            t.walls_within(Vec2::new(70.0, 50.0), 5.0),
+            0,
+            "10 from endpoint"
+        );
     }
 
     #[test]

@@ -257,7 +257,10 @@ impl Action for CombatAction {
                 if my_pos.dist(their_pos) > env.config.arrow_range {
                     return Outcome::abort();
                 }
-                let hp = state.attr(*target, HP).and_then(|v| v.as_i64()).unwrap_or(0);
+                let hp = state
+                    .attr(*target, HP)
+                    .and_then(|v| v.as_i64())
+                    .unwrap_or(0);
                 let mut w = WriteLog::new();
                 w.push(*target, HP, (hp - env.config.arrow_damage).max(0).into());
                 Outcome::ok(w)
@@ -584,10 +587,7 @@ mod tests {
         assert_eq!(s.len(), 6);
         for i in 0..6u32 {
             assert_eq!(s.attr(ObjectId(i), HP), Some(100i64.into()));
-            assert_eq!(
-                s.attr(ObjectId(i), TEAM),
-                Some(((i % 2) as i64).into())
-            );
+            assert_eq!(s.attr(ObjectId(i), TEAM), Some(((i % 2) as i64).into()));
         }
     }
 
@@ -637,8 +637,16 @@ mod tests {
         let o = a.evaluate(w.env(), &s);
         assert!(!o.aborted);
         s.apply_writes(&o.writes);
-        assert_eq!(s.attr(ObjectId(4), HP), Some(45i64.into()), "most wounded healed");
-        assert_eq!(s.attr(ObjectId(2), HP), Some(40i64.into()), "other untouched");
+        assert_eq!(
+            s.attr(ObjectId(4), HP),
+            Some(45i64.into()),
+            "most wounded healed"
+        );
+        assert_eq!(
+            s.attr(ObjectId(2), HP),
+            Some(40i64.into()),
+            "other untouched"
+        );
     }
 
     #[test]

@@ -216,7 +216,9 @@ impl Action for MoveAction {
                         && state
                             .attr(other, POS)
                             .and_then(|v| v.as_vec2())
-                            .is_some_and(|p| p.dist2(next) < self.collision_sep * self.collision_sep)
+                            .is_some_and(|p| {
+                                p.dist2(next) < self.collision_sep * self.collision_sep
+                            })
                 });
 
             if wall_hit || avatar_hit {
@@ -332,7 +334,11 @@ impl ManhattanWorld {
             return 0.0;
         }
         let positions: Vec<Vec2> = (0..n)
-            .filter_map(|i| state.attr(ObjectId(i as u32), POS).and_then(|v| v.as_vec2()))
+            .filter_map(|i| {
+                state
+                    .attr(ObjectId(i as u32), POS)
+                    .and_then(|v| v.as_vec2())
+            })
             .collect();
         let r2 = radius * radius;
         let mut total = 0usize;
@@ -365,7 +371,13 @@ impl GameWorld for ManhattanWorld {
         // can be influenced from, which is how the paper's implementation
         // scopes per-client interest (the Figure 8 sweep varies exactly
         // this radius).
-        Semantics::new(c.width, c.height, c.speed, c.move_effect_range, c.visibility)
+        Semantics::new(
+            c.width,
+            c.height,
+            c.speed,
+            c.move_effect_range,
+            c.visibility,
+        )
     }
 
     fn num_clients(&self) -> usize {
@@ -424,7 +436,12 @@ impl ManhattanWorkload {
 
     /// Build the move a client would submit from view `view`. Exposed for
     /// tests and for baselines that need raw actions.
-    pub fn make_move(&mut self, client: ClientId, seq: u32, view: &WorldState) -> Option<MoveAction> {
+    pub fn make_move(
+        &mut self,
+        client: ClientId,
+        seq: u32,
+        view: &WorldState,
+    ) -> Option<MoveAction> {
         let c = &self.env.config;
         let me = ObjectId(u32::from(client.0));
         let pos = view.attr(me, POS)?.as_vec2()?;

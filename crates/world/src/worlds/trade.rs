@@ -237,7 +237,13 @@ impl GameWorld for TradeWorld {
         // ring diameter, which makes every pair of trades potential
         // conflicts — the paper's point that financial interactions are
         // semantic, not spatial.
-        Semantics::new(side, side, 1.0, self.env.ring_radius * 2.0, self.env.ring_radius * 2.0)
+        Semantics::new(
+            side,
+            side,
+            1.0,
+            self.env.ring_radius * 2.0,
+            self.env.ring_radius * 2.0,
+        )
     }
 
     fn num_clients(&self) -> usize {
@@ -334,12 +340,24 @@ mod tests {
         let w = market(3);
         let mut s = w.initial_state();
         s.set_attr(ObjectId(0), GOLD, 2i64.into()); // cannot afford price 5
-        assert!(w.buy(ClientId(0), 0, ObjectId(1)).evaluate(w.env(), &s).aborted);
+        assert!(
+            w.buy(ClientId(0), 0, ObjectId(1))
+                .evaluate(w.env(), &s)
+                .aborted
+        );
         s.set_attr(ObjectId(0), GOLD, 50i64.into());
         s.set_attr(ObjectId(1), ITEMS, 0i64.into()); // out of stock
-        assert!(w.buy(ClientId(0), 1, ObjectId(1)).evaluate(w.env(), &s).aborted);
+        assert!(
+            w.buy(ClientId(0), 1, ObjectId(1))
+                .evaluate(w.env(), &s)
+                .aborted
+        );
         // Self-dealing is a no-op.
-        assert!(w.buy(ClientId(0), 2, ObjectId(0)).evaluate(w.env(), &s).aborted);
+        assert!(
+            w.buy(ClientId(0), 2, ObjectId(0))
+                .evaluate(w.env(), &s)
+                .aborted
+        );
     }
 
     #[test]

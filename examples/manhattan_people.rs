@@ -38,18 +38,17 @@ fn main() {
         "protocol", "mean ms", "p95 ms", "drop %", "kB total", "violations"
     );
 
-    let run =
-        |name: &str, r: RunResult| {
-            println!(
-                "{:<10} {:>12.1} {:>12.1} {:>10.2} {:>12.1} {:>12}",
-                name,
-                r.response_ms.mean(),
-                r.response_ms.p95(),
-                r.drop_percent(),
-                r.total_kb(),
-                r.violations
-            );
-        };
+    let run = |name: &str, r: RunResult| {
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>10.2} {:>12.1} {:>12}",
+            name,
+            r.response_ms.mean(),
+            r.response_ms.p95(),
+            r.drop_percent(),
+            r.total_kb(),
+            r.violations
+        );
+    };
 
     let seve_suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound));
     let mut wl = ManhattanWorkload::new(&world);

@@ -31,14 +31,20 @@ fn main() {
     };
     let result = Simulation::new(Arc::clone(&world), &suite, sim).run(&mut workload);
 
-    println!("SEVE on Manhattan People — {} clients, 2 000 walls", result.clients);
+    println!(
+        "SEVE on Manhattan People — {} clients, 2 000 walls",
+        result.clients
+    );
     println!("  actions submitted      : {}", result.submitted);
     println!(
         "  mean response          : {:.1} ms   (bound (1+ω)·RTT = {:.1} ms)",
         result.response_ms.mean(),
         protocol.response_bound_ms()
     );
-    println!("  p95 response           : {:.1} ms", result.response_ms.p95());
+    println!(
+        "  p95 response           : {:.1} ms",
+        result.response_ms.p95()
+    );
     println!("  dropped by Algorithm 7 : {:.2} %", result.drop_percent());
     println!("  total data transfer    : {:.1} kB", result.total_kb());
     println!(

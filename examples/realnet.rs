@@ -10,7 +10,7 @@
 //! consistency oracle.
 
 use seve::core::consistency::ConsistencyOracle;
-use seve::core::server::bounded::BoundedServer;
+use seve::core::pipeline::PipelineServer;
 use seve::prelude::*;
 use seve::rt::{run_client, run_server};
 use std::net::TcpListener;
@@ -45,7 +45,7 @@ fn main() {
     let digest = world.initial_state().digest();
     let server = std::thread::spawn(move || {
         run_server(
-            BoundedServer::new(server_world, server_cfg),
+            PipelineServer::new(server_world, server_cfg),
             listener,
             n,
             Duration::from_millis(5),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification gate: build, tests, formatting, lints.
+# Run from anywhere; operates on the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy =="
+cargo clippy --workspace -- -D warnings
+
+echo "verify.sh: all checks passed"

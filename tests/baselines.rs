@@ -65,7 +65,9 @@ fn broadcast_traffic_is_quadratic() {
         let world = manhattan(n, 500);
         let suite = BroadcastSuite::default();
         let mut wl = ManhattanWorkload::new(&world);
-        Simulation::new(world, &suite, sim(15)).run(&mut wl).total_bytes
+        Simulation::new(world, &suite, sim(15))
+            .run(&mut wl)
+            .total_bytes
     };
     let b8 = bytes_at(8);
     let b32 = bytes_at(32);
@@ -92,8 +94,8 @@ fn seve_traffic_stays_near_central() {
     let seve_suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound));
     let seve = Simulation::new(Arc::clone(&world), &seve_suite, sim(15)).run(&mut wl);
     let mut wl = ManhattanWorkload::new(&world);
-    let bcast = Simulation::new(Arc::clone(&world), &BroadcastSuite::default(), sim(15))
-        .run(&mut wl);
+    let bcast =
+        Simulation::new(Arc::clone(&world), &BroadcastSuite::default(), sim(15)).run(&mut wl);
     assert!(
         (seve.total_bytes as f64) < 3.0 * central.total_bytes as f64,
         "SEVE must not incur significantly higher network costs (Figure 9): {} vs {}",
@@ -133,8 +135,8 @@ fn locking_serializes_conflicts_at_multiple_rtts() {
         ..DiningConfig::default()
     }));
     let mut wl = DiningWorkload::new(&world);
-    let locking = Simulation::new(Arc::clone(&world), &LockingSuite::default(), sim(15))
-        .run(&mut wl);
+    let locking =
+        Simulation::new(Arc::clone(&world), &LockingSuite::default(), sim(15)).run(&mut wl);
     assert_eq!(locking.violations, 0, "locking is strongly consistent");
     assert_eq!(locking.server.installed, locking.submitted);
     let mut wl = DiningWorkload::new(&world);

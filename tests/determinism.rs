@@ -46,13 +46,30 @@ fn every_suite_is_deterministic() {
         ($name:expr, $suite:expr) => {{
             let a = manhattan_run(&$suite);
             let b = manhattan_run(&$suite);
-            assert_eq!(fingerprint(&a), fingerprint(&b), "{} must be deterministic", $name);
+            assert_eq!(
+                fingerprint(&a),
+                fingerprint(&b),
+                "{} must be deterministic",
+                $name
+            );
         }};
     }
-    check!("SEVE", SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound)));
-    check!("SEVE-nodrop", SeveSuite::new(ProtocolConfig::with_mode(ServerMode::FirstBound)));
-    check!("incomplete", SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Incomplete)));
-    check!("basic", SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic)));
+    check!(
+        "SEVE",
+        SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound))
+    );
+    check!(
+        "SEVE-nodrop",
+        SeveSuite::new(ProtocolConfig::with_mode(ServerMode::FirstBound))
+    );
+    check!(
+        "incomplete",
+        SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Incomplete))
+    );
+    check!(
+        "basic",
+        SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic))
+    );
     check!("central", CentralSuite::with_interest_radius(30.0));
     check!("broadcast", BroadcastSuite::default());
     check!("ring", RingSuite::new(30.0));

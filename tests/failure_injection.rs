@@ -15,7 +15,7 @@
 
 use seve::core::engine::{ClientNode, ServerNode};
 use seve::core::msg::ToServer;
-use seve::core::server::bounded::BoundedServer;
+use seve::core::pipeline::PipelineServer;
 use seve::core::SeveClient;
 use seve::prelude::*;
 use std::sync::Arc;
@@ -35,10 +35,9 @@ fn run_round(redundant: bool) -> u64 {
     let world = ring(4);
     let mut cfg = ProtocolConfig::with_mode(ServerMode::InfoBound);
     cfg.redundant_completions = redundant;
-    let mut server: BoundedServer<DiningWorld> =
-        BoundedServer::new(Arc::clone(&world), cfg.clone());
-    let mut alive: SeveClient<DiningWorld> =
-        SeveClient::new(ClientId(1), Arc::clone(&world), &cfg);
+    let mut server: PipelineServer<DiningWorld> =
+        PipelineServer::new(Arc::clone(&world), cfg.clone());
+    let mut alive: SeveClient<DiningWorld> = SeveClient::new(ClientId(1), Arc::clone(&world), &cfg);
 
     let t = SimTime::ZERO;
     let mut down = Vec::new();

@@ -12,12 +12,12 @@
 //! archer fires nothing") on every replica — including A's, which cannot
 //! see C. SEVE delivers the causal support; RING does not.
 
+use seve::baselines::ring::RingServer;
 use seve::core::engine::{ClientNode, ServerNode};
-use seve::core::server::bounded::BoundedServer;
+use seve::core::pipeline::PipelineServer;
 use seve::core::SeveClient;
 use seve::prelude::*;
 use seve::world::worlds::combat::{CombatAction, HP};
-use seve::baselines::ring::RingServer;
 use std::sync::Arc;
 
 /// Three combatants in a row: A at x=0, B at x=130, C at x=260. With a
@@ -56,16 +56,30 @@ fn seve_preserves_the_arrow_causality() {
     // Drive a bounded server and client A by hand. All replicas bootstrap
     // from the same scripted arena.
     let cfg = ProtocolConfig::with_mode(ServerMode::FirstBound);
-    let mut server: BoundedServer<CombatWorld> =
-        BoundedServer::new(Arc::clone(&world), cfg.clone());
+    let mut server: PipelineServer<CombatWorld> =
+        PipelineServer::new(Arc::clone(&world), cfg.clone());
     let mut client_a: SeveClient<CombatWorld> =
         SeveClient::new(ClientId(0), Arc::clone(&world), &cfg);
 
     let t = SimTime::ZERO;
     let mut down = Vec::new();
     // C's kill-shot arrives first, B's shot second: positions 1 and 2.
-    server.deliver(t, ClientId(2), seve::core::msg::ToServer::Submit { action: c_shot.clone() }, &mut down);
-    server.deliver(t, ClientId(1), seve::core::msg::ToServer::Submit { action: b_shot.clone() }, &mut down);
+    server.deliver(
+        t,
+        ClientId(2),
+        seve::core::msg::ToServer::Submit {
+            action: c_shot.clone(),
+        },
+        &mut down,
+    );
+    server.deliver(
+        t,
+        ClientId(1),
+        seve::core::msg::ToServer::Submit {
+            action: b_shot.clone(),
+        },
+        &mut down,
+    );
     assert!(down.is_empty());
     server.push_tick(SimTime::from_ms(60), &mut down);
 
@@ -85,7 +99,11 @@ fn seve_preserves_the_arrow_causality() {
         .filter(|i| matches!(i.payload, seve::core::msg::Payload::Action(_)))
         .map(|i| i.pos)
         .collect();
-    assert_eq!(actions, vec![1, 2], "C's shot must precede B's in A's batch");
+    assert_eq!(
+        actions,
+        vec![1, 2],
+        "C's shot must precede B's in A's batch"
+    );
 
     // Apply the batch at client A: B dies at pos 1, so B's shot at pos 2
     // evaluates as a no-op and A survives.
@@ -119,8 +137,18 @@ fn ring_breaks_the_arrow_causality() {
 
     let t = SimTime::ZERO;
     let mut down = Vec::new();
-    server.deliver(t, ClientId(2), seve::core::msg::ToServer::Submit { action: c_shot }, &mut down);
-    server.deliver(t, ClientId(1), seve::core::msg::ToServer::Submit { action: b_shot }, &mut down);
+    server.deliver(
+        t,
+        ClientId(2),
+        seve::core::msg::ToServer::Submit { action: c_shot },
+        &mut down,
+    );
+    server.deliver(
+        t,
+        ClientId(1),
+        seve::core::msg::ToServer::Submit { action: b_shot },
+        &mut down,
+    );
     server.push_tick(SimTime::from_ms(60), &mut down);
 
     // RING forwards B's shot to A (A sees B) but NOT C's shot (A cannot
@@ -133,7 +161,11 @@ fn ring_breaks_the_arrow_causality() {
     let seve::core::msg::ToClient::Batch { items } = &batches_to_a[0].1 else {
         unreachable!()
     };
-    assert_eq!(items.len(), 1, "only B's shot — the causal support is missing");
+    assert_eq!(
+        items.len(),
+        1,
+        "only B's shot — the causal support is missing"
+    );
 
     let mut up = Vec::new();
     client_a.deliver(SimTime::from_ms(300), batches_to_a[0].1.clone(), &mut up);

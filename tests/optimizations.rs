@@ -7,12 +7,15 @@
 
 use seve::core::engine::ServerNode;
 use seve::core::msg::{Payload, ToClient, ToServer};
-use seve::core::server::bounded::BoundedServer;
+use seve::core::pipeline::PipelineServer;
 use seve::prelude::*;
 use seve::world::worlds::combat::{CLASS_AMBIENT, CLASS_COMBAT};
 use std::sync::Arc;
 
-fn batch_action_count(msgs: &[(ClientId, ToClient<<CombatWorld as GameWorld>::Action>)], to: ClientId) -> usize {
+fn batch_action_count(
+    msgs: &[(ClientId, ToClient<<CombatWorld as GameWorld>::Action>)],
+    to: ClientId,
+) -> usize {
     msgs.iter()
         .filter(|(c, _)| *c == to)
         .map(|(_, m)| match m {
@@ -48,15 +51,19 @@ fn interest_filtering_elides_insect_ambience() {
     let run = |filtering: bool| {
         let mut cfg = ProtocolConfig::with_mode(ServerMode::FirstBound);
         cfg.interest_filtering = filtering;
-        let mut server: BoundedServer<CombatWorld> =
-            BoundedServer::new(Arc::clone(&world), cfg);
+        let mut server: PipelineServer<CombatWorld> = PipelineServer::new(Arc::clone(&world), cfg);
         let state = world.initial_state();
         let bug_move = world
             .walk(ClientId(0), 0, seve::world::Vec2::new(1.0, 0.0), &state)
             .expect("insect move");
         assert_eq!(bug_move.influence().class, CLASS_AMBIENT);
         let mut down = Vec::new();
-        server.deliver(SimTime::ZERO, ClientId(0), ToServer::Submit { action: bug_move }, &mut down);
+        server.deliver(
+            SimTime::ZERO,
+            ClientId(0),
+            ToServer::Submit { action: bug_move },
+            &mut down,
+        );
         server.push_tick(SimTime::from_ms(60), &mut down);
         down
     };
@@ -97,15 +104,19 @@ fn velocity_culling_spares_clients_behind_the_arrow() {
     let run = |culling: bool| {
         let mut cfg = ProtocolConfig::with_mode(ServerMode::FirstBound);
         cfg.velocity_culling = culling;
-        let mut server: BoundedServer<CombatWorld> =
-            BoundedServer::new(Arc::clone(&world), cfg);
+        let mut server: PipelineServer<CombatWorld> = PipelineServer::new(Arc::clone(&world), cfg);
         let state = world.initial_state();
         let shot = world
             .shoot(ClientId(1), 0, ObjectId(2), &state)
             .expect("archer shoots the target");
         assert_eq!(shot.influence().class, CLASS_COMBAT);
         let mut down = Vec::new();
-        server.deliver(SimTime::ZERO, ClientId(1), ToServer::Submit { action: shot }, &mut down);
+        server.deliver(
+            SimTime::ZERO,
+            ClientId(1),
+            ToServer::Submit { action: shot },
+            &mut down,
+        );
         server.push_tick(SimTime::from_ms(60), &mut down);
         down
     };

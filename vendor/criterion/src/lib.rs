@@ -1,0 +1,173 @@
+//! In-repo substitute for the `criterion` API surface this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! minimal timing harness with criterion's call shape: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, and the `criterion_group!`/`criterion_main!` macros.
+//! It reports a simple mean per benchmark instead of criterion's full
+//! statistical analysis, and ignores sample-size tuning beyond bounding the
+//! number of timed iterations.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The harness times routine
+/// invocations individually either way, so the variants only exist for
+/// call-site compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Identifier for one parameterized benchmark case.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    timed: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.timed = self.iters;
+    }
+
+    /// Time `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.timed = self.iters;
+    }
+}
+
+fn run_benchmark(name: &str, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        iters,
+        total: Duration::ZERO,
+        timed: 0,
+    };
+    f(&mut b);
+    if b.timed > 0 {
+        let mean = b.total.as_secs_f64() / b.timed as f64;
+        println!("bench {name:<50} {:>12.3} µs/iter", mean * 1e6);
+    } else {
+        println!("bench {name:<50} (no measurement)");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Bound the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.iters, f);
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F)
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.name), self.iters, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(name, 10, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

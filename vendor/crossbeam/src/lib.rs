@@ -1,0 +1,99 @@
+//! In-repo substitute for the `crossbeam` API surface this workspace uses.
+//!
+//! The build environment has no registry access. `channel` maps onto
+//! `std::sync::mpsc` (unbounded MPSC; same `RecvTimeoutError` semantics the
+//! workspace relies on), and `thread` wraps `std::thread::scope` in
+//! crossbeam's closure style (`scope(|s| ...)` where spawned closures
+//! receive the scope handle). Performance characteristics differ from the
+//! real crate; semantics for the operations used here do not.
+
+/// MPSC channels (std-backed).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads (std-backed).
+pub mod thread {
+    use std::any::Any;
+
+    /// Handle passed to scoped closures; spawn more scoped threads from it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle of a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle,
+        /// crossbeam-style, so it can spawn siblings.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads it spawns are joined before this
+    /// returns. Unlike `std::thread::scope`, returns `Err` instead of
+    /// propagating a child panic (crossbeam semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(5u32).unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Ok(5)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(super::channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn scoped_threads_join_and_collect() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .iter()
+                .map(|&v| s.spawn(move |_| v * 2))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+}

@@ -1,0 +1,178 @@
+//! In-repo substitute for the `proptest` API surface this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides a
+//! small deterministic property-testing harness with the same surface the
+//! workspace's `prop_*` test files call: the [`Strategy`] trait with
+//! `prop_map`/`prop_flat_map`/`prop_shuffle`/`prop_recursive`/`boxed`,
+//! strategies for ranges, tuples, `Vec<S>`, simple `.{lo,hi}` string
+//! patterns and `any::<T>()`, the `collection`/`option`/`sample` modules,
+//! and the `proptest!`/`prop_assert*`/`prop_oneof!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via the assertion message instead), and generation streams are
+//! deterministic per test name + case index rather than sourced from OS
+//! entropy. Statistical coverage is cruder but adequate for the invariants
+//! tested here.
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, BoxedStrategy, Just, Strategy, Union};
+
+/// The prelude the test files glob-import.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced access to strategy modules (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Define property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `fn name()` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (
+        ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __name_hash = $crate::test_runner::hash_name(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(__name_hash, __case as u64);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    let __result = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__e) = __result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the enclosing proptest case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the enclosing proptest case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right` ({})\n  left: `{:?}`\n right: `{:?}`",
+                    format!($($fmt)*),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fail the enclosing proptest case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = &$left;
+        let __r = &$right;
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let __l = &$left;
+        let __r = &$right;
+        if !(*__l != *__r) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right` ({})\n  both: `{:?}`",
+                    format!($($fmt)*),
+                    __l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union {
+            arms: vec![$($crate::Strategy::boxed($arm)),+],
+        }
+    };
+}

@@ -1,0 +1,37 @@
+//! Sampling strategies (`proptest::sample::subsequence`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `amount` elements of `values`, distinct by index and
+/// in the original relative order.
+pub fn subsequence<T: Clone>(values: Vec<T>, amount: usize) -> Subsequence<T> {
+    assert!(
+        amount <= values.len(),
+        "subsequence amount exceeds source length"
+    );
+    Subsequence { values, amount }
+}
+
+/// See [`subsequence`].
+#[derive(Clone)]
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    amount: usize,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        // Partial Fisher-Yates over the index vector, then restore source
+        // order among the chosen indices.
+        let mut indices: Vec<usize> = (0..self.values.len()).collect();
+        for i in 0..self.amount {
+            let j = i + rng.next_usize(indices.len() - i);
+            indices.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = indices[..self.amount].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}

@@ -1,0 +1,718 @@
+//! Deserialization half of the data model.
+
+use core::fmt::{self, Display};
+use core::marker::PhantomData;
+
+/// Error trait every deserializer error type implements.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from a display-able message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A value that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Read `Self` out of the deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful deserialization entry point (the stateless case is
+/// `PhantomData<T>`).
+pub trait DeserializeSeed<'de>: Sized {
+    /// Value produced.
+    type Value;
+    /// Read the value out of the deserializer.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// The deserialization data model. Every `deserialize_*` method defaults to
+/// [`Deserializer::deserialize_any`]; format implementations override the
+/// shapes they encode distinctly.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize whatever the input contains next.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+
+    /// Deserialize a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize raw bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Deserialize a field or variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Skip over whatever the input contains next.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        self.deserialize_any(visitor)
+    }
+    /// Whether the format is human readable.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+macro_rules! visit_default {
+    ($($method:ident($ty:ty) => $what:expr,)*) => {
+        $(
+            /// Visit one input shape; the default rejects it.
+            fn $method<E: Error>(self, _v: $ty) -> Result<Self::Value, E> {
+                Err(E::custom(concat!("unexpected ", $what)))
+            }
+        )*
+    };
+}
+
+/// Drives deserialization: the format calls back the `visit_*` method
+/// matching what it decoded.
+pub trait Visitor<'de>: Sized {
+    /// Value produced.
+    type Value;
+
+    /// Describe what this visitor expects (used in error messages).
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    visit_default! {
+        visit_bool(bool) => "bool",
+        visit_i8(i8) => "i8",
+        visit_i16(i16) => "i16",
+        visit_i32(i32) => "i32",
+        visit_i64(i64) => "i64",
+        visit_u8(u8) => "u8",
+        visit_u16(u16) => "u16",
+        visit_u32(u32) => "u32",
+        visit_u64(u64) => "u64",
+        visit_f32(f32) => "f32",
+        visit_f64(f64) => "f64",
+        visit_char(char) => "char",
+        visit_bytes(&[u8]) => "bytes",
+    }
+
+    /// Visit a string slice.
+    fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected string"))
+    }
+    /// Visit an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visit an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Visit `None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+    /// Visit `Some(_)`; the payload follows in the deserializer.
+    fn visit_some<D: Deserializer<'de>>(self, _deserializer: D) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom("unexpected some"))
+    }
+    /// Visit `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unit"))
+    }
+    /// Visit a newtype struct; the payload follows in the deserializer.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        _deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        Err(D::Error::custom("unexpected newtype struct"))
+    }
+    /// Visit a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected sequence"))
+    }
+    /// Visit a map.
+    fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected map"))
+    }
+    /// Visit an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, _data: A) -> Result<Self::Value, A::Error> {
+        Err(A::Error::custom("unexpected enum"))
+    }
+}
+
+/// Element-by-element access to a sequence.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Deserialize the next element through a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+    /// Deserialize the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_element_seed(PhantomData)
+    }
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+    /// Deserialize the next key through a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+    /// Deserialize the next value through a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
+        -> Result<V::Value, Self::Error>;
+    /// Deserialize the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_key_seed(PhantomData)
+    }
+    /// Deserialize the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_value_seed(PhantomData)
+    }
+    /// Remaining length, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Accessor for the variant's payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+    /// Deserialize the variant tag through a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+    /// Deserialize the variant tag.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// A unit variant: no payload.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+    /// A newtype variant, through a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T)
+        -> Result<T::Value, Self::Error>;
+    /// A newtype variant.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+    /// A tuple variant with `len` fields.
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+    /// A struct variant with the given fields.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a plain value into a deserializer yielding it (used for
+/// enum variant indices).
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wrap `self`.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Deserializer yielding one `u32`.
+pub struct U32Deserializer<E> {
+    value: u32,
+    marker: PhantomData<E>,
+}
+
+impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+    type Error = E;
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+        visitor.visit_u32(self.value)
+    }
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = U32Deserializer<E>;
+    fn into_deserializer(self) -> U32Deserializer<E> {
+        U32Deserializer {
+            value: self,
+            marker: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! deserialize_primitive {
+    ($($ty:ty, $deserialize:ident, $visit:ident, $expect:expr;)*) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct PrimitiveVisitor;
+                impl<'de> Visitor<'de> for PrimitiveVisitor {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($expect)
+                    }
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$deserialize(PrimitiveVisitor)
+            }
+        })*
+    };
+}
+
+deserialize_primitive! {
+    bool, deserialize_bool, visit_bool, "a bool";
+    i8, deserialize_i8, visit_i8, "an i8";
+    i16, deserialize_i16, visit_i16, "an i16";
+    i32, deserialize_i32, visit_i32, "an i32";
+    i64, deserialize_i64, visit_i64, "an i64";
+    u8, deserialize_u8, visit_u8, "a u8";
+    u16, deserialize_u16, visit_u16, "a u16";
+    u32, deserialize_u32, visit_u32, "a u32";
+    u64, deserialize_u64, visit_u64, "a u64";
+    f32, deserialize_f32, visit_f32, "an f32";
+    f64, deserialize_f64, visit_f64, "an f64";
+    char, deserialize_char, visit_char, "a char";
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UsizeVisitor;
+        impl<'de> Visitor<'de> for UsizeVisitor {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom("usize overflow"))
+            }
+        }
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IsizeVisitor;
+        impl<'de> Visitor<'de> for IsizeVisitor {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom("isize overflow"))
+            }
+        }
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(item) = seq.next_element_seed(PhantomData)? {
+                    out.push(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct SetVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de> + Ord> Visitor<'de> for SetVisitor<T> {
+            type Value = std::collections::BTreeSet<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeSet::new();
+                while let Some(item) = seq.next_element_seed(PhantomData)? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(SetVisitor(PhantomData))
+    }
+}
+
+impl<'de, T, H> Deserialize<'de> for std::collections::HashSet<T, H>
+where
+    T: Deserialize<'de> + Eq + std::hash::Hash,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct SetVisitor<T, H>(PhantomData<(T, H)>);
+        impl<'de, T, H> Visitor<'de> for SetVisitor<T, H>
+        where
+            T: Deserialize<'de> + Eq + std::hash::Hash,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashSet<T, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a set")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashSet::with_hasher(H::default());
+                while let Some(item) = seq.next_element_seed(PhantomData)? {
+                    out.insert(item);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(SetVisitor(PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for MapVisitor<K, V> {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::BTreeMap::new();
+                while let Some(key) = map.next_key_seed(PhantomData)? {
+                    let value = map.next_value_seed(PhantomData)?;
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for std::collections::HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    H: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for MapVisitor<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + std::hash::Hash,
+            V: Deserialize<'de>,
+            H: std::hash::BuildHasher + Default,
+        {
+            type Value = std::collections::HashMap<K, V, H>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = std::collections::HashMap::with_hasher(H::default());
+                while let Some(key) = map.next_key_seed(PhantomData)? {
+                    let value = map.next_value_seed(PhantomData)?;
+                    out.insert(key, value);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+macro_rules! deserialize_tuple_impl {
+    ($len:expr => $($name:ident)+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str("a tuple")
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<Acc: SeqAccess<'de>>(
+                        self,
+                        mut seq: Acc,
+                    ) -> Result<Self::Value, Acc::Error> {
+                        $(
+                            let $name = seq
+                                .next_element_seed(PhantomData)?
+                                .ok_or_else(|| Acc::Error::custom("tuple too short"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    };
+}
+
+deserialize_tuple_impl!(1 => A);
+deserialize_tuple_impl!(2 => A B);
+deserialize_tuple_impl!(3 => A B C);
+deserialize_tuple_impl!(4 => A B C D);
+deserialize_tuple_impl!(5 => A B C D E);
+deserialize_tuple_impl!(6 => A B C D E F);
+deserialize_tuple_impl!(7 => A B C D E F G);
+deserialize_tuple_impl!(8 => A B C D E F G H);
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ArrayVisitor<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for ArrayVisitor<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Self::Value, A::Error> {
+                let mut out = Vec::with_capacity(N);
+                for _ in 0..N {
+                    out.push(
+                        seq.next_element_seed(PhantomData)?
+                            .ok_or_else(|| A::Error::custom("array too short"))?,
+                    );
+                }
+                out.try_into()
+                    .map_err(|_| A::Error::custom("array length mismatch"))
+            }
+        }
+        deserializer.deserialize_tuple(N, ArrayVisitor(PhantomData))
+    }
+}

@@ -1,0 +1,20 @@
+//! In-repo substitute for the `serde` data model.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! subset of serde's API surface the workspace actually uses: the
+//! `Serialize`/`Deserialize` traits, the full `Serializer`/`Deserializer`
+//! data model (as exercised by `seve-rt`'s binary wire codec), access traits
+//! (`SeqAccess`, `MapAccess`, `EnumAccess`, `VariantAccess`), seeds, and
+//! implementations for the primitives and std containers the protocol
+//! messages contain. The derive macros are re-exported from the sibling
+//! `serde_derive` stub.
+//!
+//! Not a general serde replacement: no `#[serde(...)]` attributes, no
+//! borrowed-data deserialization, no 128-bit integers.
+
+pub mod de;
+pub mod ser;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

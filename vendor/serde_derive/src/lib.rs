@@ -1,0 +1,642 @@
+//! In-repo substitute for serde's derive macros.
+//!
+//! Parses the item at the `TokenTree` level (no `syn`/`quote`, which are
+//! unavailable offline) and emits `Serialize`/`Deserialize` impls matching
+//! upstream serde's data-model calls for the shapes this workspace uses:
+//! named/tuple/unit structs and enums with unit/newtype/tuple/struct
+//! variants, with plain type parameters. `#[serde(...)]` attributes are not
+//! supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Body {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn skip_attrs_and_vis(iter: &mut Tokens) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The attribute body: `[...]`.
+                iter.next();
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                iter.next();
+                // `pub(crate)` / `pub(in ...)`.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(iter: &mut Tokens, what: &str) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected {what}, found {other:?}"),
+    }
+}
+
+/// Parse `<...>` after the item name (the `<` is already consumed),
+/// returning the type parameter names. Lifetimes and bounds are skipped.
+fn parse_generics(iter: &mut Tokens) -> Vec<String> {
+    let mut params = Vec::new();
+    let mut depth = 1usize;
+    let mut expecting_name = true;
+    let mut skip_next_ident = false;
+    for tree in iter.by_ref() {
+        match tree {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => expecting_name = true,
+                ':' if depth == 1 => expecting_name = false,
+                '\'' => skip_next_ident = true,
+                _ => {}
+            },
+            TokenTree::Ident(i) => {
+                if skip_next_ident {
+                    skip_next_ident = false;
+                } else if expecting_name && depth == 1 {
+                    let name = i.to_string();
+                    if name == "const" {
+                        panic!("serde_derive: const generics are not supported");
+                    }
+                    params.push(name);
+                    expecting_name = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    params
+}
+
+/// Parse the `name: Type` list of a braced field group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(i)) => fields.push(i.to_string()),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+        // `:` then the type, up to a top-level `,`.
+        iter.next();
+        let mut depth = 0usize;
+        let mut last_char = ' ';
+        for tree in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tree {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if last_char != '-' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+                last_char = p.as_char();
+            } else {
+                last_char = ' ';
+            }
+        }
+    }
+    fields
+}
+
+/// Count the top-level comma-separated fields of a parenthesised group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut segment_nonempty = false;
+    let mut depth = 0usize;
+    let mut last_char = ' ';
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        let Some(tree) = iter.next() else { break };
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if last_char != '-' => depth -= 1,
+                ',' if depth == 0 => {
+                    if segment_nonempty {
+                        count += 1;
+                    }
+                    segment_nonempty = false;
+                    last_char = ' ';
+                    continue;
+                }
+                _ => {}
+            }
+            last_char = p.as_char();
+        } else {
+            last_char = ' ';
+        }
+        // Visibility and attributes don't make a segment a field on their
+        // own, but any type token does.
+        segment_nonempty = true;
+    }
+    if segment_nonempty {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let shape = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                iter.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional `= discriminant`, then the trailing comma.
+        for tree in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tree {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kw = expect_ident(&mut iter, "`struct` or `enum`");
+    let name = expect_ident(&mut iter, "item name");
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            generics = parse_generics(&mut iter);
+        }
+    }
+    let body = match kw.as_str() {
+        "struct" => {
+            // Scan past a potential `where` clause to the defining group or
+            // the terminating `;` of a unit/tuple struct.
+            let mut shape = Shape::Unit;
+            for tree in iter.by_ref() {
+                match tree {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        shape = Shape::Tuple(count_tuple_fields(g.stream()));
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        shape = Shape::Named(parse_named_fields(g.stream()));
+                        break;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => break,
+                    _ => {}
+                }
+            }
+            Body::Struct(shape)
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            for tree in iter.by_ref() {
+                if let TokenTree::Group(g) = tree {
+                    if g.delimiter() == Delimiter::Brace {
+                        variants = parse_variants(g.stream());
+                        break;
+                    }
+                }
+            }
+            Body::Enum(variants)
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+impl Item {
+    /// `Foo` or `Foo<A, B>`.
+    fn self_ty(&self) -> String {
+        if self.generics.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}<{}>", self.name, self.generics.join(", "))
+        }
+    }
+
+    /// `impl` generics with the given bound applied to every type param,
+    /// plus optional extra params (e.g. `'de`) up front.
+    fn impl_generics(&self, extra: &str, bound: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !extra.is_empty() {
+            parts.push(extra.to_string());
+        }
+        for g in &self.generics {
+            parts.push(format!("{g}: {bound}"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    /// The visitor struct definition + the phantom type used in it.
+    fn visitor_parts(&self) -> (String, String) {
+        if self.generics.is_empty() {
+            (String::new(), "()".to_string())
+        } else {
+            (
+                format!("<{}>", self.generics.join(", ")),
+                format!("({},)", self.generics.join(", ")),
+            )
+        }
+    }
+}
+
+/// The `visit_seq` body reading `n` elements and building `ctor(...)` /
+/// `ctor { ... }` from them.
+fn visit_seq_fields(bindings: &[String], ctor: &str) -> String {
+    let mut out = String::new();
+    for b in bindings {
+        out.push_str(&format!(
+            "let {b} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::core::option::Option::Some(__v) => __v,\n\
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+             <__SA::Error as ::serde::de::Error>::custom(\"missing field\")),\n\
+             }};\n"
+        ));
+    }
+    out.push_str(&format!("::core::result::Result::Ok({ctor})\n"));
+    out
+}
+
+fn numbered(prefix: &str, n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("{prefix}{i}")).collect()
+}
+
+fn quoted_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let self_ty = item.self_ty();
+    let impl_generics = item.impl_generics("", "::serde::Serialize");
+    let body = match &item.body {
+        Body::Struct(Shape::Unit) => {
+            format!("::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+        }
+        Body::Struct(Shape::Tuple(1)) => format!(
+            "::serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Body::Struct(Shape::Tuple(n)) => {
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+            s
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let n = fields.len();
+            let mut s = format!(
+                "let mut __st = ::serde::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(__st)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (k, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {k}u32, \"{vname}\"),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {k}u32, \"{vname}\", __f0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds = numbered("__f", *n).join(", ");
+                        let mut s = format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut __sv = ::serde::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {k}u32, \"{vname}\", {n}usize)?;\n"
+                        );
+                        for b in numbered("__f", *n) {
+                            s.push_str(&format!(
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __sv, {b})?;\n"
+                            ));
+                        }
+                        s.push_str("::serde::ser::SerializeTupleVariant::end(__sv)\n},\n");
+                        arms.push_str(&s);
+                    }
+                    Shape::Named(fields) => {
+                        let n = fields.len();
+                        let binds = fields.join(", ");
+                        let mut s = format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             let mut __sv = ::serde::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {k}u32, \"{vname}\", {n}usize)?;\n"
+                        );
+                        for f in fields {
+                            s.push_str(&format!(
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __sv, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        s.push_str("::serde::ser::SerializeStructVariant::end(__sv)\n},\n");
+                        arms.push_str(&s);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(non_snake_case, unused_mut, unused_variables, clippy::all)]\n\
+         impl{impl_generics} ::serde::Serialize for {self_ty} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// A nested visitor (for tuple/struct payloads) producing `value_ty` by
+/// reading `bindings` as a sequence and building `ctor`.
+fn gen_seq_visitor(item: &Item, visitor_name: &str, bindings: &[String], ctor: &str) -> String {
+    let value_ty = item.self_ty();
+    let de_impl_generics = item.impl_generics("'de", "::serde::de::Deserialize<'de>");
+    let (visitor_generics, phantom_ty) = item.visitor_parts();
+    let seq_body = visit_seq_fields(bindings, ctor);
+    format!(
+        "struct {visitor_name}{visitor_generics} {{\n\
+         __p: ::core::marker::PhantomData<{phantom_ty}>,\n\
+         }}\n\
+         impl{de_impl_generics} ::serde::de::Visitor<'de> for {visitor_name}{visitor_generics} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+         __f.write_str(\"derived value\")\n\
+         }}\n\
+         fn visit_seq<__SA: ::serde::de::SeqAccess<'de>>(self, mut __seq: __SA)\n\
+         -> ::core::result::Result<Self::Value, __SA::Error> {{\n\
+         {seq_body}\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let self_ty = item.self_ty();
+    let de_impl_generics = item.impl_generics("'de", "::serde::de::Deserialize<'de>");
+    let (visitor_generics, phantom_ty) = item.visitor_parts();
+    let phantom_expr = "::core::marker::PhantomData";
+
+    let body = match &item.body {
+        Body::Struct(Shape::Unit) => {
+            let visitor = format!(
+                "struct __Visitor{visitor_generics} {{ __p: ::core::marker::PhantomData<{phantom_ty}> }}\n\
+                 impl{de_impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_generics} {{\n\
+                 type Value = {self_ty};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<__E: ::serde::de::Error>(self) -> ::core::result::Result<Self::Value, __E> {{\n\
+                 ::core::result::Result::Ok({name})\n\
+                 }}\n\
+                 }}\n"
+            );
+            format!(
+                "{visitor}\
+                 ::serde::de::Deserializer::deserialize_unit_struct(\
+                 __deserializer, \"{name}\", __Visitor {{ __p: {phantom_expr} }})"
+            )
+        }
+        Body::Struct(Shape::Tuple(1)) => {
+            let visitor = format!(
+                "struct __Visitor{visitor_generics} {{ __p: ::core::marker::PhantomData<{phantom_ty}> }}\n\
+                 impl{de_impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_generics} {{\n\
+                 type Value = {self_ty};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"newtype struct {name}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<__D: ::serde::de::Deserializer<'de>>(self, __d: __D)\n\
+                 -> ::core::result::Result<Self::Value, __D::Error> {{\n\
+                 ::core::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 }}\n"
+            );
+            format!(
+                "{visitor}\
+                 ::serde::de::Deserializer::deserialize_newtype_struct(\
+                 __deserializer, \"{name}\", __Visitor {{ __p: {phantom_expr} }})"
+            )
+        }
+        Body::Struct(Shape::Tuple(n)) => {
+            let bindings = numbered("__f", *n);
+            let ctor = format!("{name}({})", bindings.join(", "));
+            let visitor = gen_seq_visitor(item, "__Visitor", &bindings, &ctor);
+            format!(
+                "{visitor}\
+                 ::serde::de::Deserializer::deserialize_tuple_struct(\
+                 __deserializer, \"{name}\", {n}usize, __Visitor {{ __p: {phantom_expr} }})"
+            )
+        }
+        Body::Struct(Shape::Named(fields)) => {
+            let ctor = format!("{name} {{ {} }}", fields.join(", "));
+            let visitor = gen_seq_visitor(item, "__Visitor", fields, &ctor);
+            let field_names = quoted_list(fields);
+            format!(
+                "{visitor}\
+                 ::serde::de::Deserializer::deserialize_struct(\
+                 __deserializer, \"{name}\", &[{field_names}], __Visitor {{ __p: {phantom_expr} }})"
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (k, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{k}u32 => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::core::result::Result::Ok({name}::{vname})\n\
+                         }},\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{k}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                         ::serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let bindings = numbered("__f", *n);
+                        let ctor = format!("{name}::{vname}({})", bindings.join(", "));
+                        let nested_name = format!("__Variant{k}Visitor");
+                        let nested = gen_seq_visitor(item, &nested_name, &bindings, &ctor);
+                        arms.push_str(&format!(
+                            "{k}u32 => {{\n\
+                             {nested}\
+                             ::serde::de::VariantAccess::tuple_variant(\
+                             __variant, {n}usize, {nested_name} {{ __p: {phantom_expr} }})\n\
+                             }},\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctor = format!("{name}::{vname} {{ {} }}", fields.join(", "));
+                        let nested_name = format!("__Variant{k}Visitor");
+                        let nested = gen_seq_visitor(item, &nested_name, fields, &ctor);
+                        let field_names = quoted_list(fields);
+                        arms.push_str(&format!(
+                            "{k}u32 => {{\n\
+                             {nested}\
+                             ::serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{field_names}], {nested_name} {{ __p: {phantom_expr} }})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            let variant_names = quoted_list(&variants.iter().map(|v| v.name.clone()).collect::<Vec<_>>());
+            let visitor = format!(
+                "struct __Visitor{visitor_generics} {{ __p: ::core::marker::PhantomData<{phantom_ty}> }}\n\
+                 impl{de_impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_generics} {{\n\
+                 type Value = {self_ty};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter<'_>) -> ::core::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+                 }}\n\
+                 fn visit_enum<__EA: ::serde::de::EnumAccess<'de>>(self, __access: __EA)\n\
+                 -> ::core::result::Result<Self::Value, __EA::Error> {{\n\
+                 let (__idx, __variant): (u32, __EA::Variant) =\n\
+                 ::serde::de::EnumAccess::variant(__access)?;\n\
+                 match __idx {{\n\
+                 {arms}\
+                 _ => ::core::result::Result::Err(\
+                 <__EA::Error as ::serde::de::Error>::custom(\"invalid variant index\")),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            );
+            format!(
+                "{visitor}\
+                 ::serde::de::Deserializer::deserialize_enum(\
+                 __deserializer, \"{name}\", &[{variant_names}], __Visitor {{ __p: {phantom_expr} }})"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(non_snake_case, unused_mut, unused_variables, clippy::all)]\n\
+         impl{de_impl_generics} ::serde::de::Deserialize<'de> for {self_ty} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D)\n\
+         -> ::core::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
