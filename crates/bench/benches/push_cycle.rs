@@ -1,0 +1,41 @@
+//! Benchmarks for the bounded-push candidate-selection hot path.
+//!
+//! The First/Information Bound push cycle is the server's per-ω·RTT cost
+//! driver (Eq. 1): for every client, which new queue entries can touch its
+//! influence sphere? The pre-index implementation was a linear
+//! O(clients × window) double loop; the grid-indexed inversion visits each
+//! window entry once and queries only nearby clients. Both selectors are
+//! timed here on identical fixtures — `scripts/bench.sh` records the
+//! machine-readable medians via the `bench_push` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seve_bench::push_fixture;
+use seve_core::config::ServerMode;
+
+fn bench_push_selection(c: &mut Criterion) {
+    let mut g = c.benchmark_group("push_select");
+    g.sample_size(30);
+    for &clients in &[32usize, 64, 128] {
+        let window = clients * 4;
+        let fx = push_fixture::build(clients, window, ServerMode::FirstBound);
+        let mut cands = Vec::new();
+        g.bench_with_input(BenchmarkId::new("indexed", clients), &clients, |b, _| {
+            b.iter(|| {
+                fx.routing
+                    .select_candidates_indexed(&fx.st, fx.now, fx.horizon, &mut cands);
+                std::hint::black_box(&cands);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("linear", clients), &clients, |b, _| {
+            b.iter(|| {
+                fx.routing
+                    .select_candidates_linear(&fx.st, fx.now, fx.horizon, &mut cands);
+                std::hint::black_box(&cands);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_push_selection);
+criterion_main!(benches);

@@ -1,0 +1,209 @@
+//! `bench_push` — machine-readable perf trajectory for the push/closure
+//! hot paths.
+//!
+//! Measures, on the Table I Manhattan world:
+//!
+//! * median wall-clock of one push-cycle candidate selection, indexed
+//!   (grid-inverted) vs linear (pre-index reference), per fleet size;
+//! * median wall-clock of one Algorithm 6 closure over a realistic queue;
+//! * wall-clock of a fixed Manhattan People sweep (full simulated runs of
+//!   the First and Information Bound servers).
+//!
+//! Writes `BENCH_push.json` (or the `--out` path) so later PRs have a
+//! trajectory to regress against. `--smoke` runs a seconds-scale subset for
+//! CI. Invoked by `scripts/bench.sh`.
+
+use seve_bench::push_fixture;
+use seve_core::closure::{closure_for, ActionQueue};
+use seve_core::config::ServerMode;
+use seve_sim::experiment::{paper_protocol, paper_sim, paper_world, run_seve, Scale};
+use seve_world::ids::ClientId;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median of the nanosecond samples collected by `measure`.
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time `f` for `iters` iterations, returning per-call nanos.
+fn measure(iters: usize, mut f: impl FnMut()) -> Vec<u64> {
+    // Warmup.
+    for _ in 0..2 {
+        f();
+    }
+    (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect()
+}
+
+struct SelectRow {
+    clients: usize,
+    window: usize,
+    indexed_ns: u64,
+    linear_ns: u64,
+}
+
+struct ClosureRow {
+    queue_len: usize,
+    ns: u64,
+    scanned: usize,
+}
+
+struct SweepRow {
+    mode: &'static str,
+    clients: usize,
+    wall_ms: f64,
+    server_compute_us: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_push.json".to_string());
+
+    let (sizes, sel_iters, closure_lens, closure_iters): (&[usize], usize, &[usize], usize) =
+        if smoke {
+            (&[16], 10, &[64], 10)
+        } else {
+            (&[32, 64, 128, 256], 60, &[64, 128, 256], 200)
+        };
+
+    // --- Push-cycle candidate selection: indexed vs linear. -------------
+    let mut select_rows = Vec::new();
+    for &clients in sizes {
+        let window = clients * 4;
+        let fx = push_fixture::build(clients, window, ServerMode::FirstBound);
+        let mut cands = Vec::new();
+        let indexed_ns = median_ns(measure(sel_iters, || {
+            fx.routing
+                .select_candidates_indexed(&fx.st, fx.now, fx.horizon, &mut cands);
+            std::hint::black_box(&cands);
+        }));
+        let linear_ns = median_ns(measure(sel_iters, || {
+            fx.routing
+                .select_candidates_linear(&fx.st, fx.now, fx.horizon, &mut cands);
+            std::hint::black_box(&cands);
+        }));
+        eprintln!(
+            "select clients={clients} window={window}: indexed {indexed_ns} ns, \
+             linear {linear_ns} ns ({:.2}x)",
+            linear_ns as f64 / indexed_ns.max(1) as f64
+        );
+        select_rows.push(SelectRow {
+            clients,
+            window,
+            indexed_ns,
+            linear_ns,
+        });
+    }
+
+    // --- Algorithm 6 closure over a realistic queue. ---------------------
+    let mut closure_rows = Vec::new();
+    for &len in closure_lens {
+        let fx = push_fixture::build(64.min(len), len, ServerMode::FirstBound);
+        let rebuild = || {
+            let mut q = ActionQueue::new();
+            for e in fx.st.queue.iter() {
+                q.push(e.action.clone(), e.submit_time);
+            }
+            q
+        };
+        let last = fx.horizon;
+        let mut scanned = 0usize;
+        let samples = measure(closure_iters, || {
+            // Fresh sent bits each call; rebuild outside would skew the
+            // timing less, but the rebuild is itself O(len) and cheap next
+            // to the scan, and the median is robust to it.
+            let mut q = rebuild();
+            let t = Instant::now();
+            let r = closure_for(&mut q, ClientId(0), &[last]);
+            scanned = r.scanned;
+            std::hint::black_box((t.elapsed(), r));
+        });
+        let ns = median_ns(samples);
+        eprintln!("closure len={len}: {ns} ns (scanned {scanned})");
+        closure_rows.push(ClosureRow {
+            queue_len: len,
+            ns,
+            scanned,
+        });
+    }
+
+    // --- Fixed Manhattan People sweep (full simulated runs). -------------
+    let sweep_clients = if smoke { 8 } else { 64 };
+    let mut sweep_rows = Vec::new();
+    for mode in [ServerMode::FirstBound, ServerMode::InfoBound] {
+        let world = paper_world(sweep_clients, Scale::Quick);
+        let sim = paper_sim(Scale::Quick);
+        let t = Instant::now();
+        let r = run_seve(&world, mode, paper_protocol(mode), &sim);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "sweep {} clients={sweep_clients}: {wall_ms:.1} ms wall",
+            mode.name()
+        );
+        sweep_rows.push(SweepRow {
+            mode: mode.name(),
+            clients: sweep_clients,
+            wall_ms,
+            server_compute_us: r.server_compute_us,
+        });
+    }
+
+    // --- Emit JSON (no serializer dependency: the shape is flat). --------
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(
+        j,
+        "  \"meta\": {{\"bench\": \"push\", \"smoke\": {smoke}, \"world\": \"manhattan_people\", \"selection_iters\": {sel_iters}}},"
+    );
+    j.push_str("  \"push_cycle_select\": [\n");
+    for (i, r) in select_rows.iter().enumerate() {
+        let sep = if i + 1 < select_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"clients\": {}, \"window\": {}, \"indexed_median_ns\": {}, \"linear_median_ns\": {}, \"speedup\": {:.3}, \"indexed_entries_visited\": {}, \"linear_entries_visited\": {}}}{sep}",
+            r.clients,
+            r.window,
+            r.indexed_ns,
+            r.linear_ns,
+            r.linear_ns as f64 / r.indexed_ns.max(1) as f64,
+            r.window,
+            r.clients * r.window,
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"closure\": [\n");
+    for (i, r) in closure_rows.iter().enumerate() {
+        let sep = if i + 1 < closure_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"queue_len\": {}, \"median_ns\": {}, \"entries_scanned\": {}}}{sep}",
+            r.queue_len, r.ns, r.scanned,
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"manhattan_sweep\": [\n");
+    for (i, r) in sweep_rows.iter().enumerate() {
+        let sep = if i + 1 < sweep_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"mode\": \"{}\", \"clients\": {}, \"wall_ms\": {:.1}, \"server_compute_us\": {}}}{sep}",
+            r.mode, r.clients, r.wall_ms, r.server_compute_us,
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).expect("write bench json");
+    println!("wrote {out_path}");
+}

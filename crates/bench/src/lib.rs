@@ -21,3 +21,71 @@ use seve_sim::experiment::Scale;
 /// The scale benches run at (figures are simulations; Criterion measures
 /// the wall-clock of regenerating them at reduced size).
 pub const BENCH_SCALE: Scale = Scale::Quick;
+
+pub mod push_fixture {
+    //! A reusable bounded-push scenario for the routing benches: a
+    //! Manhattan People world with a window of un-pushed queue entries and
+    //! a [`SphereRouting`] whose grid tracks every submission — exactly the
+    //! state `on_push` sees at the start of an ω·RTT cycle. Candidate
+    //! selection is a pure read of this state, so the indexed and linear
+    //! selectors can be timed back-to-back on one fixture.
+
+    use seve_core::config::ServerMode;
+    use seve_core::pipeline::{ingress, PipelineState, RoutingPolicy, SphereRouting};
+    use seve_net::time::SimTime;
+    use seve_sim::experiment::paper_protocol;
+    use seve_world::ids::{ClientId, QueuePos};
+    use seve_world::worlds::manhattan::{ManhattanConfig, ManhattanWorkload, ManhattanWorld};
+    use seve_world::worlds::Workload;
+    use seve_world::GameWorld;
+    use std::sync::Arc;
+
+    /// A server mid-run, one push window of entries queued.
+    pub struct PushFixture {
+        /// Pipeline state with `window` uncommitted, un-pushed entries.
+        pub st: PipelineState<ManhattanWorld>,
+        /// Sphere routing whose grid saw every submission.
+        pub routing: SphereRouting,
+        /// The push horizon (the queue tail).
+        pub horizon: QueuePos,
+        /// Simulated "now" at the push cycle, after every submission.
+        pub now: SimTime,
+    }
+
+    /// Build a fixture: `clients` avatars on the Table I Manhattan world,
+    /// `window` realistic moves queued and un-pushed.
+    pub fn build(clients: usize, window: usize, mode: ServerMode) -> PushFixture {
+        // The Table I geometry (1000×1000, clustered spawn) with the wall
+        // set dropped: walls only add evaluation cost, and the routing
+        // paths under test never look at them.
+        let world = Arc::new(ManhattanWorld::new(ManhattanConfig {
+            clients,
+            walls: 0,
+            ..ManhattanConfig::default()
+        }));
+        let cfg = paper_protocol(mode);
+        let mut st = PipelineState::new(world.clone(), cfg.clone());
+        let mut routing = SphereRouting::new(world.as_ref(), &cfg);
+        let mut wl = ManhattanWorkload::new(&world);
+        let mut state = world.initial_state();
+        let mut seqs = vec![0u32; clients];
+        for i in 0..window {
+            let c = ClientId((i % clients) as u16);
+            let a = wl.next_action(c, seqs[c.index()], &state, 0).expect("move");
+            seqs[c.index()] += 1;
+            // Advance the shared view so successive moves differ.
+            let out = seve_world::Action::evaluate(&a, world.env(), &state);
+            state.apply_writes(&out.writes);
+            RoutingPolicy::<ManhattanWorld>::before_enqueue(&mut routing, &mut st, c, &a);
+            ingress::admit(&mut st, SimTime(i as u64 * 1_000), a);
+        }
+        let horizon = st.queue.last_pos().unwrap_or(0);
+        let now = SimTime(window as u64 * 1_000 + 10_000);
+        PushFixture {
+            st,
+            routing,
+            horizon,
+            now,
+        }
+    }
+}

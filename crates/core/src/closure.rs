@@ -72,9 +72,11 @@ pub struct QueueEntry<A> {
     pub pos: QueuePos,
     /// The action itself.
     pub action: A,
-    /// Cached read set (`RS(a)`).
+    /// Cached read set (`RS(a)`), carrying its occupancy signature — the
+    /// `WS ∩ S` tests of Algorithms 6 and 7 fast-reject on
+    /// `sig_a & sig_b == 0` before merging.
     pub rs: ObjectSet,
-    /// Cached write set (`WS(a)`).
+    /// Cached write set (`WS(a)`), likewise signature-carrying.
     pub ws: ObjectSet,
     /// Cached influence, for the bound tests.
     pub influence: Influence,
@@ -319,6 +321,9 @@ pub fn analyze_new_actions<A: Action>(
         Some(l) => l,
         None => return result,
     };
+    // Hoisted out of the chain walk: one getenv syscall per tick, not one
+    // per conflicting chain member.
+    let debug_drops = std::env::var("SEVE_DEBUG_DROPS").is_ok();
     let start = from.max(first);
     for pos in start..=last {
         // Split the queue at `pos`: the scan below reads entries before
@@ -343,7 +348,7 @@ pub fn analyze_new_actions<A: Action>(
             if ej.ws.intersects(&s) {
                 chain += 1;
                 if center.dist(ej.influence.center) > threshold {
-                    if std::env::var("SEVE_DEBUG_DROPS").is_ok() {
+                    if debug_drops {
                         eprintln!(
                             "DROP pos {} center {:?} vs pos {} center {:?} dist {:.1} chain {}",
                             pos,

@@ -13,6 +13,7 @@
 //!   interest-radius override), then ship their closure support.
 
 use crate::bounds::BoundParams;
+use crate::closure::QueueEntry;
 use crate::config::ProtocolConfig;
 use crate::msg::ToClient;
 use crate::pipeline::{analyze, egress, state::PipelineState};
@@ -20,6 +21,7 @@ use seve_net::time::SimTime;
 use seve_world::geometry::Vec2;
 use seve_world::ids::{ClientId, QueuePos};
 use seve_world::semantics::InterestMask;
+use seve_world::spatial::UniformGrid;
 use seve_world::{Action, GameWorld};
 
 /// Which clients hear about which queued actions, and when.
@@ -74,21 +76,54 @@ pub trait RoutingPolicy<W: GameWorld>: Send {
 pub struct BroadcastRouting {
     /// `pos_C` per client.
     pos_c: Vec<QueuePos>,
+    /// Cached `min(pos_C)` — the queue-retention bound. Maintained
+    /// incrementally so every submit doesn't rescan all clients.
+    min_pos: QueuePos,
+    /// How many clients currently sit exactly at `min_pos`; the O(n)
+    /// recomputation runs only when the last straggler advances.
+    min_count: usize,
 }
 
 impl BroadcastRouting {
     /// Routing for `n` clients.
     pub fn new(n: usize) -> Self {
-        Self { pos_c: vec![0; n] }
+        Self {
+            pos_c: vec![0; n],
+            min_pos: 0,
+            min_count: n,
+        }
+    }
+
+    /// Advance `pos_C` of client `i` to `to`, keeping the cached minimum
+    /// consistent. Delivery positions only move forward.
+    fn advance(&mut self, i: usize, to: QueuePos) {
+        let old = self.pos_c[i];
+        debug_assert!(to >= old, "pos_C must be monotone");
+        if to == old {
+            return;
+        }
+        self.pos_c[i] = to;
+        if old == self.min_pos {
+            self.min_count -= 1;
+            if self.min_count == 0 {
+                let m = self.pos_c.iter().copied().min().unwrap_or(0);
+                self.min_pos = m;
+                self.min_count = self.pos_c.iter().filter(|&&p| p == m).count();
+            }
+        }
     }
 
     /// Drop queue entries already delivered to every client — the basic
     /// protocol has no commit machinery, so "delivered everywhere" is the
     /// retention bound.
     fn trim_delivered<W: GameWorld>(&self, st: &mut PipelineState<W>) {
-        let min_pos = self.pos_c.iter().copied().min().unwrap_or(0);
+        debug_assert_eq!(
+            self.min_pos,
+            self.pos_c.iter().copied().min().unwrap_or(0),
+            "cached min(pos_C) out of sync"
+        );
         while let Some(front) = st.queue.front() {
-            if front.pos <= min_pos {
+            if front.pos <= self.min_pos {
                 st.queue.pop_front();
             } else {
                 break;
@@ -108,7 +143,7 @@ impl<W: GameWorld> RoutingPolicy<W> for BroadcastRouting {
     ) -> u64 {
         let lo = self.pos_c[from.index()] + 1;
         let n_items = egress::emit_span(st, from, lo, pos, true, out);
-        self.pos_c[from.index()] = pos;
+        self.advance(from.index(), pos);
         self.trim_delivered(st);
         st.scan_cost(n_items)
     }
@@ -133,7 +168,7 @@ impl<W: GameWorld> RoutingPolicy<W> for BroadcastRouting {
                 continue;
             }
             let lo = self.pos_c[i] + 1;
-            self.pos_c[i] = last;
+            self.advance(i, last);
             let n_items = egress::emit_span(st, ClientId(i as u16), lo, last, false, out);
             if n_items > 0 {
                 cost += st.cfg.msg_cost_us + st.scan_cost(n_items);
@@ -171,6 +206,18 @@ impl<W: GameWorld> RoutingPolicy<W> for ClosureRouting {
 /// First / Information Bound push routing: the Eq. 1 influence sphere with
 /// interest classes and velocity culling selects candidates, whose closure
 /// support is pushed every ω·RTT.
+///
+/// Candidate selection is *index-driven*: a [`UniformGrid`] over the client
+/// sphere-of-influence positions (kept in lockstep by
+/// [`RoutingPolicy::before_enqueue`]) inverts the push loop — each new queue
+/// entry is visited once and grid-queried for the clients whose Eq. 1
+/// sphere it can touch, O(actions × nearby clients) instead of
+/// O(clients × queue-span). The grid supplies a cell-level superset and the
+/// *exact* scalar predicates of the linear scan decide membership, so the
+/// selection (and therefore egress order and the golden digests) is
+/// bit-identical to the scan-based path, which survives as
+/// [`SphereRouting::select_candidates_linear`] for differential tests and
+/// the before/after benches.
 pub struct SphereRouting {
     /// `p̄_C` — last known position of each client's sphere of influence,
     /// updated from the influence center of each submission.
@@ -181,7 +228,27 @@ pub struct SphereRouting {
     /// pushing to that client.
     last_push_pos: Vec<QueuePos>,
     params: BoundParams,
+    /// Spatial index over `client_pos`, updated on every submission.
+    grid: UniformGrid<ClientId>,
+    /// Reusable per-client candidate buffers for the push cycle.
+    scratch: Vec<Vec<QueuePos>>,
 }
+
+/// Per-entry probe prepared once per push cycle: the entry itself plus the
+/// precomputed grid-query sphere that over-approximates its Eq. 1 reach.
+struct Probe<'q, A> {
+    entry: &'q QueueEntry<A>,
+    /// Age of the entry at this push cycle, for area culling.
+    age_secs: f64,
+    /// Center of the grid query (the predicted center under culling).
+    center: Vec2,
+    /// Radius of the grid query — an upper bound on the exact predicate.
+    radius: f64,
+}
+
+/// Window length (in probes) below which parallel selection isn't worth the
+/// thread hand-off; measured crossover is well above this on small queues.
+const PAR_MIN_PROBES: usize = 192;
 
 impl SphereRouting {
     /// Routing over `world` under `cfg`.
@@ -193,7 +260,7 @@ impl SphereRouting {
             (sem.bounds.min.x + sem.bounds.max.x) * 0.5,
             (sem.bounds.min.y + sem.bounds.max.y) * 0.5,
         );
-        let client_pos = (0..n)
+        let client_pos: Vec<Vec2> = (0..n)
             .map(|i| {
                 let c = ClientId(i as u16);
                 world
@@ -222,18 +289,223 @@ impl SphereRouting {
             extra: 0.0,
             velocity_culling: cfg.velocity_culling,
         };
+        // Cell size on the order of the typical query radius (the Eq. 1
+        // sphere, or the dense-crowd override when set) so queries touch a
+        // handful of cells, floored so a tiny radius in a huge world can't
+        // explode the cell count.
+        let typical = cfg
+            .interest_radius_override
+            .unwrap_or(params.motion_slack() + params.client_radius + sem.default_action_radius);
+        let max_dim = sem.bounds.width().max(sem.bounds.height()).max(1e-6);
+        let cell = typical.clamp(max_dim / 128.0, max_dim).max(1e-6);
+        let mut grid = UniformGrid::new(sem.bounds, cell);
+        for (i, &p) in client_pos.iter().enumerate() {
+            grid.insert(ClientId(i as u16), p);
+        }
         Self {
             client_pos,
             interests,
             last_push_pos: vec![0; n],
             params,
+            grid,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Candidate selection for every client over queue positions
+    /// `(last_push_pos, horizon]`, by the original linear scan: for each
+    /// client, walk the window and apply the Eq. 1 / interest / culling
+    /// filters. O(clients × window). Kept as the reference implementation
+    /// for differential tests and the before/after benches; does not mutate
+    /// routing or queue state.
+    pub fn select_candidates_linear<W: GameWorld>(
+        &self,
+        st: &PipelineState<W>,
+        now: SimTime,
+        horizon: QueuePos,
+        cands: &mut Vec<Vec<QueuePos>>,
+    ) {
+        let n = st.num_clients();
+        cands.truncate(n);
+        cands.resize_with(n, Vec::new);
+        let override_r = st.cfg.interest_radius_override;
+        for (i, out) in cands.iter_mut().enumerate() {
+            out.clear();
+            let client = ClientId(i as u16);
+            let lo = self.last_push_pos[i] + 1;
+            for pos in lo..=horizon {
+                let Some(e) = st.queue.get(pos) else {
+                    continue; // already committed: values flow via blinds
+                };
+                if e.dropped || e.sent.contains(client) {
+                    continue;
+                }
+                let own = e.action.issuer() == client;
+                if !own {
+                    if !self.interests[i].contains(e.influence.class) {
+                        continue;
+                    }
+                    let age = (now - e.submit_time).as_secs_f64();
+                    if !self.near(override_r, e, age, self.client_pos[i]) {
+                        continue;
+                    }
+                }
+                out.push(pos);
+            }
+        }
+    }
+
+    /// The exact membership predicate of the linear scan: the dense-crowd
+    /// interest-radius override, or the Eq. 1 sphere with optional area
+    /// culling. Both paths must use the *same float operations* as the
+    /// pre-index code so the indexed selection is bit-identical.
+    #[inline]
+    fn near<A: Action>(
+        &self,
+        override_r: Option<f64>,
+        e: &QueueEntry<A>,
+        age_secs: f64,
+        client_pos: Vec2,
+    ) -> bool {
+        match override_r {
+            Some(r) => e.influence.center.dist(client_pos) <= r,
+            None => self.params.may_affect(&e.influence, age_secs, client_pos),
+        }
+    }
+
+    /// Candidate selection by the inverted, grid-indexed scan: visit each
+    /// window entry once, grid-query the clients its sphere can touch, and
+    /// filter each hit with the exact linear-scan predicates.
+    /// O(window × nearby clients). Large windows fan the probe phase across
+    /// scoped worker threads; the merge is deterministic (probe order, then
+    /// client index), so the result is identical to
+    /// [`SphereRouting::select_candidates_linear`] bit for bit.
+    pub fn select_candidates_indexed<W: GameWorld>(
+        &self,
+        st: &PipelineState<W>,
+        now: SimTime,
+        horizon: QueuePos,
+        cands: &mut Vec<Vec<QueuePos>>,
+    ) {
+        let n = st.num_clients();
+        cands.truncate(n);
+        cands.resize_with(n, Vec::new);
+        for out in cands.iter_mut() {
+            out.clear();
+        }
+        let lo = self.last_push_pos.iter().copied().min().unwrap_or(0) + 1;
+        if n == 0 || horizon < lo {
+            return;
+        }
+        let override_r = st.cfg.interest_radius_override;
+        // Probe phase: one pass over the window, precomputing each entry's
+        // grid-query sphere. The query radius over-approximates every exact
+        // predicate below: the override radius, the culled predicted-point
+        // slack, or the static sphere (slack + r_A).
+        let slack = self.params.motion_slack() + self.params.client_radius + self.params.extra;
+        let mut probes: Vec<Probe<'_, W::Action>> =
+            Vec::with_capacity((horizon + 1).saturating_sub(lo) as usize);
+        for pos in lo..=horizon {
+            let Some(e) = st.queue.get(pos) else {
+                continue; // already committed: values flow via blinds
+            };
+            if e.dropped {
+                continue;
+            }
+            let age_secs = (now - e.submit_time).as_secs_f64();
+            let (center, radius) = match override_r {
+                Some(r) => (e.influence.center, r),
+                None => match (self.params.velocity_culling, e.influence.velocity) {
+                    (true, Some(v)) => (e.influence.center + v * age_secs, slack),
+                    _ => (e.influence.center, slack + e.influence.radius),
+                },
+            };
+            probes.push(Probe {
+                entry: e,
+                age_secs,
+                center,
+                radius,
+            });
+        }
+        // Selection phase: grid query + exact filters per probe, fanned
+        // across scoped workers when the window is large. Each worker owns
+        // a contiguous probe chunk, so concatenating chunk outputs keeps
+        // hits in ascending position order per client.
+        let threads = if probes.len() >= PAR_MIN_PROBES {
+            std::thread::available_parallelism()
+                .map(|t| t.get())
+                .unwrap_or(1)
+                .min(8)
+                .min(probes.len())
+        } else {
+            1
+        };
+        let select_chunk = |chunk: &[Probe<'_, W::Action>]| -> Vec<(ClientId, QueuePos)> {
+            let mut hits = Vec::new();
+            for p in chunk {
+                let e = p.entry;
+                let pos = e.pos;
+                // The issuer always receives its own action — no interest
+                // or distance filter applies.
+                let issuer = e.action.issuer();
+                if issuer.index() < n
+                    && self.last_push_pos[issuer.index()] < pos
+                    && !e.sent.contains(issuer)
+                {
+                    hits.push((issuer, pos));
+                }
+                self.grid
+                    .for_each_candidate(p.center, p.radius, |c, c_pos| {
+                        debug_assert_eq!(c_pos, self.client_pos[c.index()], "grid out of sync");
+                        if c == issuer
+                            || self.last_push_pos[c.index()] >= pos
+                            || e.sent.contains(c)
+                            || !self.interests[c.index()].contains(e.influence.class)
+                        {
+                            return;
+                        }
+                        if self.near(override_r, e, p.age_secs, c_pos) {
+                            hits.push((c, pos));
+                        }
+                    });
+            }
+            hits
+        };
+        if threads <= 1 {
+            for (c, pos) in select_chunk(&probes) {
+                cands[c.index()].push(pos);
+            }
+        } else {
+            let chunk_len = probes.len().div_ceil(threads);
+            let chunks: Vec<&[Probe<'_, W::Action>]> = probes.chunks(chunk_len).collect();
+            let results = std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| s.spawn(|| select_chunk(chunk)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("selection worker panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for hits in results {
+                for (c, pos) in hits {
+                    cands[c.index()].push(pos);
+                }
+            }
         }
     }
 }
 
 impl<W: GameWorld> RoutingPolicy<W> for SphereRouting {
     fn before_enqueue(&mut self, _st: &mut PipelineState<W>, from: ClientId, action: &W::Action) {
-        self.client_pos[from.index()] = action.influence().center;
+        let new_pos = action.influence().center;
+        let old_pos = self.client_pos[from.index()];
+        if new_pos != old_pos {
+            let moved = self.grid.relocate(from, old_pos, new_pos);
+            debug_assert!(moved, "client missing from the routing grid");
+            self.client_pos[from.index()] = new_pos;
+        }
     }
 
     fn on_submit(
@@ -255,47 +527,26 @@ impl<W: GameWorld> RoutingPolicy<W> for SphereRouting {
         horizon: QueuePos,
         out: &mut Vec<(ClientId, ToClient<W::Action>)>,
     ) -> u64 {
-        let n = st.num_clients();
         let mut cost = 0u64;
-        let mut candidates: Vec<QueuePos> = Vec::new();
-        for i in 0..n {
-            let client = ClientId(i as u16);
-            candidates.clear();
-            let lo = self.last_push_pos[i] + 1;
-            for pos in lo..=horizon {
-                let Some(e) = st.queue.get(pos) else {
-                    continue; // already committed: values flow via blinds
-                };
-                if e.dropped || e.sent.contains(client) {
-                    continue;
-                }
-                let own = e.action.issuer() == client;
-                if !own {
-                    if !self.interests[i].contains(e.influence.class) {
-                        continue;
-                    }
-                    let near = match st.cfg.interest_radius_override {
-                        Some(r) => e.influence.center.dist(self.client_pos[i]) <= r,
-                        None => {
-                            let age = (now - e.submit_time).as_secs_f64();
-                            self.params
-                                .may_affect(&e.influence, age, self.client_pos[i])
-                        }
-                    };
-                    if !near {
-                        continue;
-                    }
-                }
-                candidates.push(pos);
-            }
+        // Selection is a pure read of queue + routing state, so it runs
+        // once for all clients (grid-inverted, possibly parallel) before
+        // the sequential, `sent`-bit-mutating closure phase below. A
+        // client's selection depends only on its *own* `sent` bits, which
+        // the closures of other clients never touch, so splitting the
+        // phases is observationally identical to the interleaved scan.
+        let mut cands = std::mem::take(&mut self.scratch);
+        self.select_candidates_indexed(st, now, horizon, &mut cands);
+        for (i, candidates) in cands.iter().enumerate() {
             self.last_push_pos[i] = horizon.max(self.last_push_pos[i]);
             if candidates.is_empty() {
                 continue;
             }
-            let result = analyze::closure_support(st, client, &candidates);
+            let client = ClientId(i as u16);
+            let result = analyze::closure_support(st, client, candidates);
             cost += st.cfg.msg_cost_us + st.scan_cost(result.scanned);
             egress::emit_closure_batch(st, client, &result, out);
         }
+        self.scratch = cands;
         cost
     }
 }

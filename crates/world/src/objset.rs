@@ -7,9 +7,31 @@
 //! and write sets of real actions are tiny (an avatar plus a handful of
 //! neighbours), so a sorted `Vec` beats a hash set: intersection is a linear
 //! merge with no hashing and no allocation.
+//!
+//! Most intersection tests in those scans are *misses* — a queue entry's
+//! write set usually shares nothing with the accumulated support `S`. Each
+//! set therefore carries a 64-bit occupancy **signature** (every member
+//! hashed to one of 64 bits): `sig_a & sig_b == 0` proves the sets disjoint
+//! without touching the element vectors, so [`ObjectSet::intersects`] falls
+//! through to the merge only when the signatures collide. The signature is
+//! an exact function of the membership (recomputed on removal), so derived
+//! equality and serialization stay consistent.
 
 use crate::ids::ObjectId;
 use std::fmt;
+
+/// The signature bit of one object id: a multiplicative hash spread over
+/// 64 bits, so dense id ranges don't collapse onto neighbouring bits.
+#[inline]
+fn sig_bit(id: ObjectId) -> u64 {
+    1u64 << ((u64::from(id.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
+}
+
+/// The occupancy signature of an arbitrary id slice.
+#[inline]
+fn sig_of(ids: &[ObjectId]) -> u64 {
+    ids.iter().fold(0u64, |s, &id| s | sig_bit(id))
+}
 
 /// A sorted, deduplicated set of [`ObjectId`]s.
 ///
@@ -23,13 +45,20 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct ObjectSet {
     ids: Vec<ObjectId>,
+    /// Occupancy signature: the OR of [`sig_bit`] over every member.
+    /// Maintained exactly (a pure function of `ids`), so the derived
+    /// `PartialEq`/serde impls remain faithful to the membership.
+    sig: u64,
 }
 
 impl ObjectSet {
     /// The empty set.
     #[inline]
     pub const fn new() -> Self {
-        Self { ids: Vec::new() }
+        Self {
+            ids: Vec::new(),
+            sig: 0,
+        }
     }
 
     /// An empty set with preallocated capacity.
@@ -37,13 +66,17 @@ impl ObjectSet {
     pub fn with_capacity(cap: usize) -> Self {
         Self {
             ids: Vec::with_capacity(cap),
+            sig: 0,
         }
     }
 
     /// A singleton set.
     #[inline]
     pub fn singleton(id: ObjectId) -> Self {
-        Self { ids: vec![id] }
+        Self {
+            sig: sig_bit(id),
+            ids: vec![id],
+        }
     }
 
     /// Build a set from an arbitrary iterator (sorts and dedups).
@@ -51,7 +84,18 @@ impl ObjectSet {
         let mut ids: Vec<ObjectId> = iter.into_iter().collect();
         ids.sort_unstable();
         ids.dedup();
-        Self { ids }
+        Self {
+            sig: sig_of(&ids),
+            ids,
+        }
+    }
+
+    /// The 64-bit occupancy signature: every member hashed to one bit.
+    /// Guarantees `a.signature() & b.signature() == 0 ⇒ a ∩ b = ∅` — the
+    /// fast-reject gate [`ObjectSet::intersects`] applies before merging.
+    #[inline]
+    pub fn signature(&self) -> u64 {
+        self.sig
     }
 
     /// Number of elements.
@@ -78,6 +122,7 @@ impl ObjectSet {
             Ok(_) => false,
             Err(pos) => {
                 self.ids.insert(pos, id);
+                self.sig |= sig_bit(id);
                 true
             }
         }
@@ -88,6 +133,9 @@ impl ObjectSet {
         match self.ids.binary_search(&id) {
             Ok(pos) => {
                 self.ids.remove(pos);
+                // Other members may share the removed id's bit, so the
+                // signature must be rebuilt, not masked.
+                self.sig = sig_of(&self.ids);
                 true
             }
             Err(_) => false,
@@ -95,8 +143,12 @@ impl ObjectSet {
     }
 
     /// Does this set share any element with `other`? (The `WS(a_j) ∩ S ≠ ∅`
-    /// test of Algorithms 6 and 7.) Linear merge over two sorted vectors.
+    /// test of Algorithms 6 and 7.) Signature fast-reject, then a linear
+    /// merge over two sorted vectors only when the signatures collide.
     pub fn intersects(&self, other: &ObjectSet) -> bool {
+        if self.sig & other.sig == 0 {
+            return false;
+        }
         let (mut i, mut j) = (0, 0);
         while i < self.ids.len() && j < other.ids.len() {
             match self.ids[i].cmp(&other.ids[j]) {
@@ -114,6 +166,7 @@ impl ObjectSet {
         if other.is_empty() {
             return;
         }
+        self.sig |= other.sig;
         if self.is_empty() {
             self.ids.extend_from_slice(&other.ids);
             return;
@@ -145,7 +198,7 @@ impl ObjectSet {
     /// Set difference: `self ← self \ other` (the `S ← S \ WS(a_j)` step of
     /// Algorithm 6). Linear merge, in place.
     pub fn subtract(&mut self, other: &ObjectSet) {
-        if self.is_empty() || other.is_empty() {
+        if self.is_empty() || other.is_empty() || self.sig & other.sig == 0 {
             return;
         }
         let mut j = 0;
@@ -155,6 +208,7 @@ impl ObjectSet {
             }
             !(j < other.ids.len() && other.ids[j] == *id)
         });
+        self.sig = sig_of(&self.ids);
     }
 
     /// Iterate over the elements in ascending order.
@@ -173,6 +227,7 @@ impl ObjectSet {
     #[inline]
     pub fn clear(&mut self) {
         self.ids.clear();
+        self.sig = 0;
     }
 
     /// Approximate wire size in bytes (length prefix + 4 bytes per id).
@@ -275,5 +330,58 @@ mod tests {
     fn wire_bytes_scales_with_len() {
         assert_eq!(ObjectSet::new().wire_bytes(), 2);
         assert_eq!(set(&[1, 2, 3]).wire_bytes(), 2 + 12);
+    }
+
+    /// The signature must stay an exact function of the membership across
+    /// every mutator, or derived equality (and the fast-reject soundness
+    /// argument) breaks.
+    #[test]
+    fn signature_tracks_membership_exactly() {
+        let mut s = set(&[1, 5, 9]);
+        assert_eq!(s.signature(), sig_of(s.as_slice()));
+        s.insert(ObjectId(700));
+        assert_eq!(s.signature(), sig_of(s.as_slice()));
+        s.remove(ObjectId(5));
+        assert_eq!(s.signature(), sig_of(s.as_slice()));
+        s.union_with(&set(&[2, 9, 44]));
+        assert_eq!(s.signature(), sig_of(s.as_slice()));
+        s.subtract(&set(&[1, 2, 3]));
+        assert_eq!(s.signature(), sig_of(s.as_slice()));
+        s.clear();
+        assert_eq!(s.signature(), 0);
+    }
+
+    #[test]
+    fn signature_disjoint_implies_no_intersection() {
+        // Exhaustive over a small id universe: whenever the signatures are
+        // disjoint, the sets must be disjoint (the fast-reject is sound).
+        for a_bits in 0u32..64 {
+            for b_bits in 0u32..64 {
+                let a: ObjectSet = (0..6)
+                    .filter(|i| a_bits & (1 << i) != 0)
+                    .map(ObjectId)
+                    .collect();
+                let b: ObjectSet = (0..6)
+                    .filter(|i| b_bits & (1 << i) != 0)
+                    .map(ObjectId)
+                    .collect();
+                let truly_disjoint = !a.as_slice().iter().any(|id| b.contains(*id));
+                if a.signature() & b.signature() == 0 {
+                    assert!(truly_disjoint, "sig-disjoint but sets intersect");
+                }
+                assert_eq!(a.intersects(&b), !truly_disjoint);
+            }
+        }
+    }
+
+    #[test]
+    fn signature_equal_sets_have_equal_signatures() {
+        let a = set(&[3, 1, 4, 1, 5]);
+        let mut b = ObjectSet::new();
+        for id in [5u32, 4, 3, 1] {
+            b.insert(ObjectId(id));
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.signature(), b.signature());
     }
 }

@@ -127,6 +127,33 @@ impl<K: Copy + Eq> UniformGrid<K> {
         }
     }
 
+    /// Visit every item stored in the cells covering the box
+    /// `center ± radius`, in deterministic (cell-major, insertion) order,
+    /// **without** applying the grid's own distance test.
+    ///
+    /// For callers whose membership predicate is not `dist2 ≤ r²` — e.g.
+    /// the Eq. 1 sphere test, whose `dist() ≤ slack` comparison differs
+    /// from the squared form by a rounding in `sqrt` — this yields a
+    /// superset of candidates to which the caller applies its *exact*
+    /// predicate, so an index-accelerated scan stays bit-identical to the
+    /// linear one. The box is inflated by one part in 2⁴⁰ (plus an
+    /// absolute epsilon) so boundary items can never fall outside the
+    /// visited cells through floating-point rounding of the corners.
+    pub fn for_each_candidate(&self, center: Vec2, radius: f64, mut f: impl FnMut(K, Vec2)) {
+        let r = radius.max(0.0);
+        let pad = r * (1.0 / (1u64 << 40) as f64) + 1e-9;
+        let reach = Vec2::new(r + pad, r + pad);
+        let (cx0, cy0) = self.cell_coords(center - reach);
+        let (cx1, cy1) = self.cell_coords(center + reach);
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for &(k, p) in &self.cells[cy * self.cols + cx] {
+                    f(k, p);
+                }
+            }
+        }
+    }
+
     /// Collect every item within `radius` of `center`.
     pub fn query_within(&self, center: Vec2, radius: f64) -> Vec<(K, Vec2)> {
         let mut out = Vec::new();
@@ -197,6 +224,29 @@ mod tests {
         let mut g = grid();
         g.insert(1, Vec2::new(-10.0, 200.0)); // clamps to (0, 100) cell
         assert_eq!(g.count_within(Vec2::new(0.0, 100.0), 150.0), 1);
+    }
+
+    #[test]
+    fn candidate_visit_is_a_superset_of_the_radius_query() {
+        let mut g = grid();
+        g.insert(1, Vec2::new(5.0, 5.0));
+        g.insert(2, Vec2::new(15.0, 5.0));
+        g.insert(3, Vec2::new(95.0, 95.0));
+        // Exactly at the radius boundary: the candidate visit must include
+        // everything the exact query includes.
+        let center = Vec2::new(5.0, 5.0);
+        for radius in [0.0, 10.0, 12.0, 200.0] {
+            let exact: Vec<u32> = g
+                .query_within(center, radius)
+                .iter()
+                .map(|&(k, _)| k)
+                .collect();
+            let mut cand = Vec::new();
+            g.for_each_candidate(center, radius, |k, _| cand.push(k));
+            for k in &exact {
+                assert!(cand.contains(k), "candidate visit missed {k} at r={radius}");
+            }
+        }
     }
 
     #[test]

@@ -192,4 +192,41 @@ proptest! {
             prop_assert_ne!(a.get(id), b.get(id));
         }
     }
+
+    #[test]
+    fn signature_soundness_and_membership_purity(
+        a in ids(),
+        b in ids(),
+        ops in prop::collection::vec((0u32..48, any::<bool>()), 0..64)
+    ) {
+        // Soundness of the conflict-scan gate: a zero signature AND means
+        // the sets cannot share an element, so `intersects` may return
+        // false without merging.
+        let sa: ObjectSet = a.iter().map(|&i| ObjectId(i)).collect();
+        let sb: ObjectSet = b.iter().map(|&i| ObjectId(i)).collect();
+        if sa.signature() & sb.signature() == 0 {
+            let ma: BTreeSet<u32> = a.iter().copied().collect();
+            let mb: BTreeSet<u32> = b.iter().copied().collect();
+            prop_assert!(ma.intersection(&mb).next().is_none());
+            prop_assert!(!sa.intersects(&sb));
+        }
+
+        // Purity: after any op sequence, the signature equals that of a
+        // set freshly built from the same membership (no stale bits from
+        // removals, unions, or subtractions).
+        let mut s = ObjectSet::new();
+        for &(id, insert) in &ops {
+            if insert {
+                s.insert(ObjectId(id));
+            } else {
+                s.remove(ObjectId(id));
+            }
+        }
+        let mut u = s.clone();
+        u.union_with(&sa);
+        u.subtract(&sb);
+        let rebuilt: ObjectSet = u.iter().collect();
+        prop_assert_eq!(u.signature(), rebuilt.signature());
+        prop_assert_eq!(&u, &rebuilt);
+    }
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Perf harness for the push/closure hot paths.
+#
+# Runs the criterion routing benches (push_cycle + closure_micro) and then
+# the bench_push binary, which times indexed vs linear candidate selection,
+# Algorithm 6 closures, and a fixed Manhattan People sweep, writing the
+# medians to BENCH_push.json at the repo root. See EXPERIMENTS.md.
+#
+# Usage: scripts/bench.sh [--smoke]
+#   --smoke   seconds-scale subset, writes to a temp file instead of
+#             overwriting the checked-in BENCH_push.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "== bench_push --smoke =="
+    cargo run --release -p seve-bench --bin bench_push -- \
+        --smoke --out target/BENCH_push.smoke.json
+    exit 0
+fi
+
+echo "== criterion: push_cycle =="
+cargo bench -p seve-bench --bench push_cycle
+
+echo "== criterion: closure_micro =="
+cargo bench -p seve-bench --bench closure_micro
+
+echo "== bench_push -> BENCH_push.json =="
+cargo run --release -p seve-bench --bin bench_push -- --out BENCH_push.json

@@ -16,4 +16,8 @@ cargo fmt --check
 echo "== cargo clippy =="
 cargo clippy --workspace -- -D warnings
 
+echo "== bench smoke =="
+cargo bench --workspace --no-run
+scripts/bench.sh --smoke
+
 echo "verify.sh: all checks passed"
