@@ -5,7 +5,8 @@
 //!
 //! * median wall-clock of one push-cycle candidate selection, indexed
 //!   (grid-inverted) vs linear (pre-index reference), per fleet size;
-//! * median wall-clock of one Algorithm 6 closure over a realistic queue;
+//! * median wall-clock of one Algorithm 6 closure over a realistic queue,
+//!   indexed (inverted write index) vs linear (pre-index reference);
 //! * wall-clock of a fixed Manhattan People sweep (full simulated runs of
 //!   the First and Information Bound servers).
 //!
@@ -14,7 +15,7 @@
 //! CI. Invoked by `scripts/bench.sh`.
 
 use seve_bench::push_fixture;
-use seve_core::closure::{closure_for, ActionQueue};
+use seve_core::closure::{closure_for, closure_for_linear, ActionQueue, ClientSet};
 use seve_core::config::ServerMode;
 use seve_sim::experiment::{paper_protocol, paper_sim, paper_world, run_seve, Scale};
 use seve_world::ids::ClientId;
@@ -51,7 +52,9 @@ struct SelectRow {
 
 struct ClosureRow {
     queue_len: usize,
-    ns: u64,
+    indexed_ns: u64,
+    linear_ns: u64,
+    visited: usize,
     scanned: usize,
 }
 
@@ -76,7 +79,7 @@ fn main() {
         if smoke {
             (&[16], 10, &[64], 10)
         } else {
-            (&[32, 64, 128, 256], 60, &[64, 128, 256], 200)
+            (&[32, 64, 128, 256], 60, &[64, 128, 256, 512], 200)
         };
 
     // --- Push-cycle candidate selection: indexed vs linear. -------------
@@ -108,10 +111,13 @@ fn main() {
         });
     }
 
-    // --- Algorithm 6 closure over a realistic queue. ---------------------
+    // --- Algorithm 6 closure: indexed vs linear over a realistic queue. --
+    // One queued action per client: a push window covers at most a cycle's
+    // worth of submissions per client, so the un-pushed span a closure
+    // walks is a cross-section of the fleet, not one client's backlog.
     let mut closure_rows = Vec::new();
     for &len in closure_lens {
-        let fx = push_fixture::build(64.min(len), len, ServerMode::FirstBound);
+        let fx = push_fixture::build(len, len, ServerMode::FirstBound);
         let rebuild = || {
             let mut q = ActionQueue::new();
             for e in fx.st.queue.iter() {
@@ -120,23 +126,51 @@ fn main() {
             q
         };
         let last = fx.horizon;
-        let mut scanned = 0usize;
-        let samples = measure(closure_iters, || {
-            // Fresh sent bits each call; rebuild outside would skew the
-            // timing less, but the rebuild is itself O(len) and cheap next
-            // to the scan, and the median is robust to it.
+        // The queue and its index are long-lived on a real server, so each
+        // variant runs against one steady-state queue; the per-call `sent`
+        // marks are reset between samples, outside the timed region.
+        let sample = |indexed: bool| {
             let mut q = rebuild();
-            let t = Instant::now();
-            let r = closure_for(&mut q, ClientId(0), &[last]);
-            scanned = r.scanned;
-            std::hint::black_box((t.elapsed(), r));
-        });
-        let ns = median_ns(samples);
-        eprintln!("closure len={len}: {ns} ns (scanned {scanned})");
+            let mut samples = Vec::with_capacity(closure_iters);
+            let mut result = None;
+            for i in 0..closure_iters + 2 {
+                for e in q.iter_mut_rev() {
+                    e.sent = ClientSet::new();
+                }
+                let t = Instant::now();
+                let r = if indexed {
+                    closure_for(&mut q, ClientId(0), &[last])
+                } else {
+                    closure_for_linear(&mut q, ClientId(0), &[last])
+                };
+                let dt = t.elapsed().as_nanos() as u64;
+                if i >= 2 {
+                    samples.push(dt); // first two are warmup
+                }
+                result = Some(std::hint::black_box(r));
+            }
+            (median_ns(samples), result.unwrap())
+        };
+        let (indexed_ns, ri) = sample(true);
+        let (linear_ns, rl) = sample(false);
+        // The differential the proptests run on synthetic queues, asserted
+        // here on the real workload.
+        assert_eq!(ri.send, rl.send, "indexed/linear closure divergence");
+        assert_eq!(ri.blind_set, rl.blind_set, "blind-set divergence");
+        assert_eq!(ri.scanned, rl.scanned, "linear-equivalent count drifted");
+        eprintln!(
+            "closure len={len}: indexed {indexed_ns} ns ({} visited), \
+             linear {linear_ns} ns ({} scanned), {:.2}x",
+            ri.visited,
+            rl.scanned,
+            linear_ns as f64 / indexed_ns.max(1) as f64
+        );
         closure_rows.push(ClosureRow {
             queue_len: len,
-            ns,
-            scanned,
+            indexed_ns,
+            linear_ns,
+            visited: ri.visited,
+            scanned: rl.scanned,
         });
     }
 
@@ -190,7 +224,22 @@ fn main() {
         let _ = writeln!(
             j,
             "    {{\"queue_len\": {}, \"median_ns\": {}, \"entries_scanned\": {}}}{sep}",
-            r.queue_len, r.ns, r.scanned,
+            r.queue_len, r.indexed_ns, r.scanned,
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"closure_indexed\": [\n");
+    for (i, r) in closure_rows.iter().enumerate() {
+        let sep = if i + 1 < closure_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"queue_len\": {}, \"indexed_median_ns\": {}, \"linear_median_ns\": {}, \"speedup\": {:.3}, \"entries_visited\": {}, \"entries_scanned_linear\": {}}}{sep}",
+            r.queue_len,
+            r.indexed_ns,
+            r.linear_ns,
+            r.linear_ns as f64 / r.indexed_ns.max(1) as f64,
+            r.visited,
+            r.scanned,
         );
     }
     j.push_str("  ],\n");

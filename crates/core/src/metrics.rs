@@ -129,6 +129,17 @@ pub struct StageMetrics {
     pub egress_bytes: u64,
     /// Messages egress emitted.
     pub egress_msgs: u64,
+    /// Queue entries the index-driven Algorithm 6 traversals actually
+    /// visited (host-side work of the inverted conflict index).
+    pub closure_entries_visited: u64,
+    /// Queue entries the pre-index linear Algorithm 6 scans would have
+    /// examined — the denominator for the index's win, and what the
+    /// simulated cost model still charges.
+    pub closure_entries_linear: u64,
+    /// Entries visited by index-driven Algorithm 7 chain walks.
+    pub analyze_entries_visited: u64,
+    /// Linear-equivalent Algorithm 7 scan length.
+    pub analyze_entries_linear: u64,
 }
 
 /// Per-server metrics.
@@ -186,6 +197,8 @@ mod tests {
         assert_eq!(s.max_queue_len, 0);
         assert_eq!(s.stage.ingress.events, 0);
         assert_eq!(s.stage.egress_bytes, 0);
+        assert_eq!(s.stage.closure_entries_visited, 0);
+        assert_eq!(s.stage.analyze_entries_linear, 0);
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! [`ChainBreak`] for the Information Bound Model, which walks each newly
 //! submitted action's conflict chain and drops actions whose chain reaches
 //! farther than the threshold.
+//!
+//! Both walks run over the queue's inverted write index (see
+//! [`crate::closure`]), visiting O(conflicts) entries; the stage records
+//! indexed-vs-linear entry counters into
+//! [`StageMetrics`](crate::metrics::StageMetrics) while the *simulated*
+//! cost keeps charging the linear-equivalent scan length, so event timing
+//! is identical to the pre-index pipeline.
 
 use crate::closure::{analyze_new_actions, closure_for, ClosureResult};
 use crate::msg::ToClient;
@@ -19,7 +26,9 @@ use std::time::Instant;
 
 /// Compute the transitive support (Algorithm 6) for `candidates` on behalf
 /// of `client`, marking the returned positions as sent. Stage-timed; also
-/// records the closure-scan workload metric.
+/// records the closure-scan workload metrics — both the linear-equivalent
+/// `scanned` (the simulated cost input, unchanged by the inverted index)
+/// and the entries the indexed traversal actually visited.
 pub fn closure_support<W: GameWorld>(
     st: &mut PipelineState<W>,
     client: ClientId,
@@ -30,6 +39,8 @@ pub fn closure_support<W: GameWorld>(
     st.metrics
         .closure_scan_entries
         .record(result.scanned as f64);
+    st.metrics.stage.closure_entries_visited += result.visited as u64;
+    st.metrics.stage.closure_entries_linear += result.scanned as u64;
     st.metrics
         .stage
         .analyze
@@ -97,6 +108,8 @@ impl<W: GameWorld> DropPolicy<W> for ChainBreak {
         // Algorithm 7's onNextTick over actions submitted since last tick.
         let from = (self.analyzed_upto + 1).max(st.queue.first_pos());
         let analysis = analyze_new_actions(&mut st.queue, from, st.cfg.threshold);
+        st.metrics.stage.analyze_entries_visited += analysis.visited as u64;
+        st.metrics.stage.analyze_entries_linear += analysis.scanned as u64;
         for &len in &analysis.chain_lens {
             st.metrics.chain_len.record(len as f64);
         }

@@ -66,7 +66,7 @@ pub fn batch_items<W: GameWorld>(
         let e = st.queue.get(pos).expect("sent positions are queued");
         // The client will apply this action's writes at `pos`.
         let known = &mut st.client_known[client.index()];
-        for o in e.ws.iter() {
+        for o in e.ws().iter() {
             let entry = known.entry(o).or_insert(0);
             *entry = (*entry).max(pos);
         }

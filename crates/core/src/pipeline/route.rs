@@ -11,6 +11,13 @@
 //!   ω·RTT push cycle, select candidates by the Eq. 1 influence sphere
 //!   (with interest classes, velocity culling, and the dense-crowd
 //!   interest-radius override), then ship their closure support.
+//!
+//! Two indexes carry the push cycle: the [`UniformGrid`] over client
+//! positions inverts candidate selection (O(actions × nearby clients)),
+//! and the queue's inverted write index (see [`crate::closure`]) drives
+//! the Algorithm 6 support computation in O(conflicts) — both behind
+//! linear reference implementations that differential tests compare
+//! against.
 
 use crate::bounds::BoundParams;
 use crate::closure::QueueEntry;

@@ -1,9 +1,12 @@
 //! Property-based tests for the protocol machinery: Algorithm 6 against a
-//! naive fixed-point closure, Algorithm 7's chain invariants, and the
-//! replay log against in-order reference application.
+//! naive fixed-point closure, Algorithm 7's chain invariants, the inverted
+//! write index (indexed-vs-linear differentials and postings-list
+//! maintenance), and the replay log against in-order reference application.
 
 use proptest::prelude::*;
-use seve_core::closure::{analyze_new_actions, closure_for, ActionQueue};
+use seve_core::closure::{
+    analyze_new_actions, analyze_new_actions_linear, closure_for, closure_for_linear, ActionQueue,
+};
 use seve_core::replay::ReplayLog;
 use seve_net::time::SimTime;
 use seve_world::action::{Action, Influence, Outcome};
@@ -11,7 +14,7 @@ use seve_world::geometry::Vec2;
 use seve_world::ids::{ActionId, AttrId, ClientId, ObjectId, QueuePos};
 use seve_world::objset::ObjectSet;
 use seve_world::state::{WorldState, WriteLog};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A synthetic action over small object ids with an explicit center.
 #[derive(Clone, Debug)]
@@ -207,6 +210,137 @@ proptest! {
             }
         }
         prop_assert_eq!(analysis.dropped, expected_drops);
+    }
+
+    #[test]
+    fn indexed_closure_matches_linear(
+        actions in gen_actions(14),
+        sent_mask in prop::collection::vec(any::<bool>(), 14),
+        dropped_mask in prop::collection::vec(any::<bool>(), 14),
+        pops in 0usize..6,
+        cand_mask in prop::collection::vec(any::<bool>(), 14),
+    ) {
+        let client = ClientId(1);
+        // Two identically constructed queues (both implementations mutate
+        // `sent` bits, so each gets its own copy).
+        let build = || {
+            let mut q: ActionQueue<GenAction> = ActionQueue::new();
+            for (i, a) in actions.iter().enumerate() {
+                let pos = q.push(a.clone(), SimTime::ZERO);
+                let e = q.get_mut(pos).unwrap();
+                if sent_mask[i] {
+                    e.sent.insert(client);
+                }
+                e.dropped = dropped_mask[i];
+            }
+            for _ in 0..pops {
+                q.pop_front();
+            }
+            q
+        };
+        let mut q_idx = build();
+        let mut q_lin = build();
+        // Candidates as the routing stage produces them: live, unsent,
+        // undropped positions.
+        let candidates: Vec<QueuePos> = (q_idx.first_pos()..=q_idx.last_pos().unwrap())
+            .filter(|&p| {
+                let i = (p - 1) as usize;
+                cand_mask[i] && !sent_mask[i] && !dropped_mask[i]
+            })
+            .collect();
+        let ri = closure_for(&mut q_idx, client, &candidates);
+        let rl = closure_for_linear(&mut q_lin, client, &candidates);
+        prop_assert_eq!(&ri.send, &rl.send);
+        prop_assert_eq!(&ri.blind_set, &rl.blind_set);
+        prop_assert_eq!(ri.scanned, rl.scanned);
+        prop_assert!(ri.visited <= rl.visited);
+        for p in q_idx.first_pos()..=q_idx.last_pos().unwrap() {
+            prop_assert_eq!(
+                q_idx.get(p).unwrap().sent.contains(client),
+                q_lin.get(p).unwrap().sent.contains(client)
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_analysis_matches_linear(
+        actions in gen_actions(12),
+        dropped_mask in prop::collection::vec(any::<bool>(), 12),
+        pops in 0usize..5,
+        from_off in 0u64..12,
+        threshold in 10.0f64..150.0,
+    ) {
+        let build = || {
+            let mut q: ActionQueue<GenAction> = ActionQueue::new();
+            for (i, a) in actions.iter().enumerate() {
+                let pos = q.push(a.clone(), SimTime::ZERO);
+                // Pre-dropped entries model earlier ticks' verdicts.
+                q.get_mut(pos).unwrap().dropped = dropped_mask[i];
+            }
+            for _ in 0..pops {
+                q.pop_front();
+            }
+            q
+        };
+        let mut q_idx = build();
+        let mut q_lin = build();
+        let from = q_idx.first_pos() + from_off.min(q_idx.len() as u64 - 1);
+        let ai = analyze_new_actions(&mut q_idx, from, threshold);
+        let al = analyze_new_actions_linear(&mut q_lin, from, threshold);
+        prop_assert_eq!(&ai.dropped, &al.dropped);
+        prop_assert_eq!(&ai.chain_lens, &al.chain_lens);
+        prop_assert_eq!(ai.scanned, al.scanned);
+        prop_assert!(ai.visited <= al.visited);
+        // Drop marks applied identically.
+        for p in q_idx.first_pos()..=q_idx.last_pos().unwrap() {
+            prop_assert_eq!(q_idx.get(p).unwrap().dropped, q_lin.get(p).unwrap().dropped);
+        }
+    }
+
+    #[test]
+    fn index_matches_rebuild_under_interleaving(
+        actions in gen_actions(16),
+        // Per step: 0 = push next action, 1 = pop_front, 2 = mark a live
+        // entry dropped (drops do NOT remove postings — dropped entries
+        // stay indexed and are skipped at traversal time).
+        ops in prop::collection::vec(0u8..3, 1..32),
+        pick in prop::collection::vec(0usize..1024, 32),
+    ) {
+        let mut q: ActionQueue<GenAction> = ActionQueue::new();
+        let mut next = 0usize;
+        for (step, &op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    if next < actions.len() {
+                        q.push(actions[next].clone(), SimTime::ZERO);
+                        next += 1;
+                    }
+                }
+                1 => {
+                    q.pop_front();
+                }
+                _ => {
+                    if let Some(last) = q.last_pos() {
+                        let span = (last - q.first_pos() + 1) as usize;
+                        let pos = q.first_pos() + (pick[step] % span) as QueuePos;
+                        q.get_mut(pos).unwrap().dropped = true;
+                    }
+                }
+            }
+            // Invariant after every step: the incremental index equals a
+            // rebuild from the live entries — per write-set object, the
+            // ascending positions of every live entry (dropped or not).
+            let mut expect: BTreeMap<ObjectId, Vec<QueuePos>> = BTreeMap::new();
+            for e in q.iter() {
+                for o in e.ws().iter() {
+                    expect.entry(o).or_default().push(e.pos);
+                }
+            }
+            prop_assert_eq!(q.index_snapshot(), expect);
+            for (&o, list) in q.index_snapshot().iter() {
+                prop_assert_eq!(q.postings(o), &list[..]);
+            }
+        }
     }
 
     #[test]

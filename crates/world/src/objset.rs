@@ -161,18 +161,36 @@ impl ObjectSet {
     }
 
     /// Set union: `self ← self ∪ other` (the `S ← S ∪ RS(a_j)` step of
-    /// Algorithm 6). Linear merge.
+    /// Algorithm 6). A dry merge walk first finds the earliest element of
+    /// `other` actually missing; a union that adds nothing — the common
+    /// case once the accumulated support saturates — costs no allocation.
     pub fn union_with(&mut self, other: &ObjectSet) {
         if other.is_empty() {
             return;
         }
-        self.sig |= other.sig;
         if self.is_empty() {
+            self.sig = other.sig;
+            self.ids.clear();
             self.ids.extend_from_slice(&other.ids);
             return;
         }
-        let mut merged = Vec::with_capacity(self.ids.len() + other.ids.len());
+        self.sig |= other.sig;
         let (mut i, mut j) = (0, 0);
+        while j < other.ids.len() {
+            if i == self.ids.len() || other.ids[j] < self.ids[i] {
+                break; // other.ids[j] is missing from self
+            }
+            if self.ids[i] == other.ids[j] {
+                j += 1;
+            }
+            i += 1;
+        }
+        if j == other.ids.len() {
+            return; // other ⊆ self
+        }
+        // Merge the divergent tails onto the unchanged prefix.
+        let mut merged = Vec::with_capacity(self.ids.len() + other.ids.len() - j);
+        merged.extend_from_slice(&self.ids[..i]);
         while i < self.ids.len() && j < other.ids.len() {
             match self.ids[i].cmp(&other.ids[j]) {
                 std::cmp::Ordering::Less => {
@@ -215,6 +233,25 @@ impl ObjectSet {
     #[inline]
     pub fn iter(&self) -> impl Iterator<Item = ObjectId> + '_ {
         self.ids.iter().copied()
+    }
+
+    /// Iterate over the elements of `self` absent from `other`, ascending —
+    /// the seeding step of index-driven conflict traversal (objects about
+    /// to be *newly added* to the accumulated support `S` each need a
+    /// postings cursor). A merge walk over the two sorted vectors; when the
+    /// signatures are disjoint no membership probes run at all.
+    pub fn iter_not_in<'a>(&'a self, other: &'a ObjectSet) -> impl Iterator<Item = ObjectId> + 'a {
+        let disjoint = self.sig & other.sig == 0 || other.is_empty();
+        let mut j = 0;
+        self.ids.iter().copied().filter(move |&id| {
+            if disjoint {
+                return true;
+            }
+            while j < other.ids.len() && other.ids[j] < id {
+                j += 1;
+            }
+            !(j < other.ids.len() && other.ids[j] == id)
+        })
     }
 
     /// The elements as a sorted slice.
@@ -324,6 +361,35 @@ mod tests {
         let mut t = set(&[1]);
         t.subtract(&set(&[1]));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_not_in_is_set_difference() {
+        let a = set(&[1, 2, 3, 5, 9]);
+        let b = set(&[2, 4, 5]);
+        let diff: Vec<ObjectId> = a.iter_not_in(&b).collect();
+        assert_eq!(diff, vec![ObjectId(1), ObjectId(3), ObjectId(9)]);
+        // Disjoint-signature fast path yields everything.
+        let all: Vec<ObjectId> = a.iter_not_in(&ObjectSet::new()).collect();
+        assert_eq!(all, a.as_slice());
+        // Full overlap yields nothing.
+        assert_eq!(a.iter_not_in(&a).count(), 0);
+        // Exhaustive against contains() over a small universe.
+        for a_bits in 0u32..64 {
+            for b_bits in [0u32, 7, 21, 42, 63] {
+                let x: ObjectSet = (0..6)
+                    .filter(|i| a_bits & (1 << i) != 0)
+                    .map(ObjectId)
+                    .collect();
+                let y: ObjectSet = (0..6)
+                    .filter(|i| b_bits & (1 << i) != 0)
+                    .map(ObjectId)
+                    .collect();
+                let got: Vec<ObjectId> = x.iter_not_in(&y).collect();
+                let want: Vec<ObjectId> = x.iter().filter(|&o| !y.contains(o)).collect();
+                assert_eq!(got, want);
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,20 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "== bench_push --smoke =="
     cargo run --release -p seve-bench --bin bench_push -- \
         --smoke --out target/BENCH_push.smoke.json
+    echo "== closure-index smoke check =="
+    # bench_push asserts indexed == linear closure results in-process; here we
+    # additionally require that the inverted-index table was emitted and that
+    # the index did strictly less work than a full scan.
+    grep -q '"closure_indexed"' target/BENCH_push.smoke.json
+    python3 - <<'EOF'
+import json
+rows = json.load(open("target/BENCH_push.smoke.json"))["closure_indexed"]
+assert rows, "closure_indexed table is empty"
+for r in rows:
+    assert r["entries_visited"] < r["queue_len"], \
+        f"index visited {r['entries_visited']} of {r['queue_len']} entries"
+print("closure_indexed ok:", rows)
+EOF
     exit 0
 fi
 
