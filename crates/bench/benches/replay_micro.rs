@@ -1,0 +1,29 @@
+//! Microbenchmarks for client-side out-of-order reconciliation.
+//!
+//! Times whole-storm playback of the `replay_fixture` out-of-order storm
+//! (every eighth position ~twelve late, half commuting) through the
+//! checkpointed replay log at the Table I default interval and through the
+//! full-rebuild oracle (`interval = 0`). The `bench_replay` binary records
+//! the same comparison as a machine-readable trajectory (BENCH_replay.json);
+//! this is the Criterion counterpart with proper statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seve_bench::replay_fixture::{initial_state, play, storm};
+
+fn bench_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay");
+    for &len in &[64usize, 256] {
+        let initial = initial_state(len);
+        let arrivals = storm(len);
+        g.bench_with_input(BenchmarkId::new("storm_checkpointed", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(play(&initial, &arrivals, 32)))
+        });
+        g.bench_with_input(BenchmarkId::new("storm_full_rebuild", len), &len, |b, _| {
+            b.iter(|| std::hint::black_box(play(&initial, &arrivals, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

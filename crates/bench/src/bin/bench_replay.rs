@@ -1,0 +1,172 @@
+//! `bench_replay` — machine-readable perf trajectory for client-side
+//! out-of-order reconciliation.
+//!
+//! Plays the `replay_fixture` out-of-order storm (every eighth position
+//! ~twelve positions late, half commuting / half conflicting) into a
+//! checkpointed [`ReplayLog`] and into the full-rebuild oracle
+//! (`checkpoint_interval = 0`). Per `log_len × checkpoint_interval` cell it
+//! records the median wall-clock spent in *out-of-order reconciliation*
+//! (the cost the optimization attacks — the in-order stream is identical
+//! work in both variants) plus whole-playback medians for context. Every
+//! cell is differentially checked in-process: per-insert results, final
+//! state digest, and the protocol-visible rebuild count must match the
+//! oracle exactly — only `entries_replayed` (the real work) may differ.
+//!
+//! Writes `BENCH_replay.json` (or the `--out` path) so later PRs have a
+//! trajectory to regress against. `--smoke` runs a seconds-scale subset
+//! for CI. Invoked by `scripts/bench.sh`.
+//!
+//! [`ReplayLog`]: seve_core::replay::ReplayLog
+
+use seve_bench::replay_fixture::{initial_state, play, play_reconcile_ns, storm};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Median of the nanosecond samples collected by `measure`.
+fn median_ns(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Time `f` for `iters` iterations, returning per-call nanos.
+fn measure(iters: usize, mut f: impl FnMut()) -> Vec<u64> {
+    // Warmup.
+    for _ in 0..2 {
+        f();
+    }
+    (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect()
+}
+
+/// Collect `f`'s own nanosecond measurements (for samplers like
+/// `play_reconcile_ns` that time a sub-span of their run internally).
+fn sample(iters: usize, mut f: impl FnMut() -> u64) -> Vec<u64> {
+    // Warmup.
+    for _ in 0..2 {
+        f();
+    }
+    (0..iters).map(|_| f()).collect()
+}
+
+struct StormRow {
+    log_len: usize,
+    interval: usize,
+    /// Median total reconciliation (out-of-order insert) nanos per storm.
+    indexed_ns: u64,
+    linear_ns: u64,
+    /// Median whole-playback nanos per storm (includes the in-order work
+    /// common to both variants).
+    playback_indexed_ns: u64,
+    playback_linear_ns: u64,
+    rebuilds: usize,
+    entries_replayed: u64,
+    entries_replayed_linear: u64,
+    checkpoint_hits: u64,
+    commute_hits: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_replay.json".to_string());
+
+    let (lens, intervals, iters): (&[usize], &[usize], usize) = if smoke {
+        (&[96], &[32], 8)
+    } else {
+        (&[64, 128, 256, 512], &[8, 32, 128], 30)
+    };
+
+    let mut rows = Vec::new();
+    for &len in lens {
+        let initial = initial_state(len);
+        let arrivals = storm(len);
+        // Reference run: the full-rebuild oracle, counters and results.
+        let (oracle, oracle_results) = play(&initial, &arrivals, 0);
+        let linear_ns = median_ns(sample(iters, || play_reconcile_ns(&initial, &arrivals, 0)));
+        let playback_linear_ns = median_ns(measure(iters, || {
+            std::hint::black_box(play(&initial, &arrivals, 0));
+        }));
+        for &interval in intervals {
+            // Differential check first — a fast wrong answer is worthless.
+            let (log, results) = play(&initial, &arrivals, interval);
+            assert_eq!(results, oracle_results, "indexed/oracle insert divergence");
+            assert_eq!(
+                log.state().digest(),
+                oracle.state().digest(),
+                "indexed/oracle state divergence"
+            );
+            assert_eq!(log.divergences(), 0, "closure contract violated");
+            let indexed_ns = median_ns(sample(iters, || {
+                play_reconcile_ns(&initial, &arrivals, interval)
+            }));
+            let playback_indexed_ns = median_ns(measure(iters, || {
+                std::hint::black_box(play(&initial, &arrivals, interval));
+            }));
+            let rebuilds = results.iter().filter(|r| r.rebuilt).count();
+            eprintln!(
+                "storm len={len} K={interval}: reconcile indexed {indexed_ns} ns \
+                 ({} replayed, {} ckpt hits, {} splices) vs linear {linear_ns} ns \
+                 ({} replayed), {:.2}x",
+                log.entries_replayed(),
+                log.checkpoint_hits(),
+                log.commute_hits(),
+                oracle.entries_replayed(),
+                linear_ns as f64 / indexed_ns.max(1) as f64
+            );
+            rows.push(StormRow {
+                log_len: len,
+                interval,
+                indexed_ns,
+                linear_ns,
+                playback_indexed_ns,
+                playback_linear_ns,
+                rebuilds,
+                entries_replayed: log.entries_replayed(),
+                entries_replayed_linear: oracle.entries_replayed(),
+                checkpoint_hits: log.checkpoint_hits(),
+                commute_hits: log.commute_hits(),
+            });
+        }
+    }
+
+    // --- Emit JSON (no serializer dependency: the shape is flat). --------
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(
+        j,
+        "  \"meta\": {{\"bench\": \"replay\", \"smoke\": {smoke}, \"workload\": \"out_of_order_storm\", \"iters\": {iters}}},"
+    );
+    j.push_str("  \"replay_storm\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"log_len\": {}, \"interval\": {}, \"indexed_median_ns\": {}, \"linear_median_ns\": {}, \"speedup\": {:.3}, \"playback_indexed_ns\": {}, \"playback_linear_ns\": {}, \"rebuilds\": {}, \"entries_replayed\": {}, \"entries_replayed_linear\": {}, \"checkpoint_hits\": {}, \"commute_hits\": {}}}{sep}",
+            r.log_len,
+            r.interval,
+            r.indexed_ns,
+            r.linear_ns,
+            r.linear_ns as f64 / r.indexed_ns.max(1) as f64,
+            r.playback_indexed_ns,
+            r.playback_linear_ns,
+            r.rebuilds,
+            r.entries_replayed,
+            r.entries_replayed_linear,
+            r.checkpoint_hits,
+            r.commute_hits,
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).expect("write bench json");
+    println!("wrote {out_path}");
+}

@@ -9,7 +9,7 @@
 //! suitable for diffing against `EXPERIMENTS.md`.
 
 use seve_sim::experiment::{self, Scale};
-use seve_sim::report::{render_settings, render_stage_profile};
+use seve_sim::report::{render_replay_work, render_settings, render_stage_profile};
 use std::io::Write as _;
 
 fn main() {
@@ -67,9 +67,17 @@ fn main() {
             .filter(|(name, _, _)| name == "SEVE")
             .max_by_key(|(_, n, _)| *n)
         {
+            let label = format!("{name} @ {n} clients");
+            eprint!("{}", render_stage_profile(&label, &r.server.stage));
             eprint!(
                 "{}",
-                render_stage_profile(&format!("{name} @ {n} clients"), &r.server.stage)
+                render_replay_work(
+                    &label,
+                    r.replay_rebuilds,
+                    r.replay_entries_replayed,
+                    r.replay_checkpoint_hits,
+                    r.replay_commute_hits,
+                )
             );
         }
     }

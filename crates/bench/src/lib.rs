@@ -22,6 +22,178 @@ use seve_sim::experiment::Scale;
 /// the wall-clock of regenerating them at reduced size).
 pub const BENCH_SCALE: Scale = Scale::Quick;
 
+pub mod replay_fixture {
+    //! A reusable out-of-order storm for the client replay benches: a
+    //! positioned action stream where every fourth position is delivered
+    //! ~twelve positions late — half of the stragglers touching a private
+    //! object (the commute fast path applies), half touching the shared
+    //! pool (a genuine suffix replay). The same arrival schedule drives the
+    //! checkpointed log and the full-rebuild oracle (`interval = 0`), so
+    //! the two can be timed and differentially checked back-to-back.
+
+    use seve_core::replay::{Inserted, ReplayLog};
+    use seve_world::action::{Action, Influence, Outcome};
+    use seve_world::geometry::Vec2;
+    use seve_world::ids::{ActionId, AttrId, ClientId, ObjectId, QueuePos};
+    use seve_world::objset::ObjectSet;
+    use seve_world::state::{WorldState, WriteLog};
+
+    /// Attribute holding each object's counter.
+    pub const ATTR: AttrId = AttrId(0);
+    /// Size of the shared object pool the in-order stream cycles through.
+    pub const POOL: u32 = 24;
+    /// Delayed stragglers arrive after this many later positions.
+    pub const DELAY: u64 = 12;
+    /// The object commuting stragglers write. One suffices: a straggler's
+    /// log suffix only ever holds in-order positions (any straggler at a
+    /// later position arrives strictly later still), so no commuting
+    /// straggler ever finds another in its suffix.
+    const PRIVATE: ObjectId = ObjectId(1_000);
+
+    /// A state-dependent increment over a small object set: each object's
+    /// counter is read and rewritten, so replay order is observable and
+    /// RS = WS ⊇ WS as the paper assumes.
+    #[derive(Clone, Debug)]
+    pub struct StormAction {
+        id: ActionId,
+        delta: i64,
+        set: ObjectSet,
+    }
+
+    impl Action for StormAction {
+        type Env = ();
+        fn id(&self) -> ActionId {
+            self.id
+        }
+        fn read_set(&self) -> &ObjectSet {
+            &self.set
+        }
+        fn write_set(&self) -> &ObjectSet {
+            &self.set
+        }
+        fn influence(&self) -> Influence {
+            Influence::sphere(Vec2::ZERO, 0.0)
+        }
+        fn evaluate(&self, _env: &(), s: &WorldState) -> Outcome {
+            let mut w = WriteLog::new();
+            for obj in self.set.iter() {
+                let cur = s.attr(obj, ATTR).and_then(|v| v.as_i64()).unwrap_or(0);
+                w.push(obj, ATTR, (cur + self.delta).into());
+            }
+            Outcome::ok(w)
+        }
+        fn wire_bytes(&self) -> u32 {
+            16
+        }
+    }
+
+    /// Is this position delivered late? One in four — a bursty link.
+    fn is_delayed(pos: u64) -> bool {
+        pos % 4 == 1
+    }
+
+    /// Do the writes of a delayed position stay private (commuting)?
+    fn is_commuting(pos: u64) -> bool {
+        (pos / 4).is_multiple_of(2)
+    }
+
+    /// The action at `pos`. In-order positions increment a run of three
+    /// shared-pool objects (avatar-sized write sets); conflicting
+    /// stragglers overlap the suffix's pool slice; commuting stragglers
+    /// touch the private object nothing in any suffix ever reads.
+    fn action_at(pos: u64) -> StormAction {
+        let mut set = ObjectSet::new();
+        if is_delayed(pos) && is_commuting(pos) {
+            set.insert(PRIVATE);
+        } else if is_delayed(pos) {
+            // Conflict by construction: position pos + 6 (already applied
+            // by the time this straggler lands) uses (pos + 6) % POOL.
+            set.insert(ObjectId(pos as u32 % POOL));
+            set.insert(ObjectId((pos as u32 + 6) % POOL));
+        } else {
+            for k in 0..3 {
+                set.insert(ObjectId((pos as u32 + k) % POOL));
+            }
+        }
+        StormAction {
+            id: ActionId::new(ClientId((pos % 7) as u16), pos as u32),
+            delta: 1 + (pos % 5) as i64,
+            set,
+        }
+    }
+
+    /// The storm's arrival schedule: positions `1..=len` with every
+    /// straggler re-ranked `DELAY` positions later (deterministic — no
+    /// randomness, so both variants and every repeat see the same stream).
+    pub fn storm(len: usize) -> Vec<(QueuePos, StormAction)> {
+        let mut ranked: Vec<(u64, QueuePos)> = (1..=len as u64)
+            .map(|p| {
+                (
+                    if is_delayed(p) {
+                        2 * (p + DELAY) + 1
+                    } else {
+                        2 * p
+                    },
+                    p,
+                )
+            })
+            .collect();
+        ranked.sort_unstable();
+        ranked.into_iter().map(|(_, p)| (p, action_at(p))).collect()
+    }
+
+    /// The world the storm runs on: every touched object zeroed.
+    pub fn initial_state(len: usize) -> WorldState {
+        let mut s = WorldState::new();
+        for p in 1..=len as u64 {
+            for obj in action_at(p).set.iter() {
+                s.set_attr(obj, ATTR, 0i64.into());
+            }
+        }
+        s
+    }
+
+    /// Play the whole storm into a fresh log with the given checkpoint
+    /// interval (`0` = full-rebuild oracle), returning the log and the
+    /// per-insert results for differential comparison.
+    pub fn play(
+        initial: &WorldState,
+        arrivals: &[(QueuePos, StormAction)],
+        interval: usize,
+    ) -> (ReplayLog<StormAction>, Vec<Inserted>) {
+        let mut log = ReplayLog::new(initial.clone());
+        log.set_checkpoint_interval(interval);
+        let mut results = Vec::with_capacity(arrivals.len());
+        for (pos, a) in arrivals {
+            results.push(log.insert_action(*pos, a.clone(), |_, a, s, _| a.evaluate(&(), s)));
+        }
+        (log, results)
+    }
+
+    /// Play the storm, accumulating the wall-clock spent inside
+    /// *out-of-order* inserts only — the reconciliation cost the checkpoint
+    /// chain and commute gate attack. The in-order stream costs the same in
+    /// both variants and would otherwise drown the comparison.
+    pub fn play_reconcile_ns(
+        initial: &WorldState,
+        arrivals: &[(QueuePos, StormAction)],
+        interval: usize,
+    ) -> u64 {
+        let mut log = ReplayLog::new(initial.clone());
+        log.set_checkpoint_interval(interval);
+        let mut ns = 0u64;
+        for (pos, a) in arrivals {
+            let t = std::time::Instant::now();
+            let r = log.insert_action(*pos, a.clone(), |_, a, s, _| a.evaluate(&(), s));
+            let dt = t.elapsed().as_nanos() as u64;
+            if r.rebuilt {
+                ns += dt;
+            }
+        }
+        ns
+    }
+}
+
 pub mod push_fixture {
     //! A reusable bounded-push scenario for the routing benches: a
     //! Manhattan People world with a window of un-pushed queue entries and

@@ -55,6 +55,7 @@ impl<W: GameWorld> SeveClient<W> {
         let initial = world.initial_state();
         let mut replay = ReplayLog::new(initial.clone());
         replay.set_verify_rebuilds(cfg.verify_rebuilds);
+        replay.set_checkpoint_interval(cfg.replay_checkpoint_interval);
         let metrics = ClientMetrics {
             owner: id.0,
             ..ClientMetrics::default()
@@ -146,9 +147,11 @@ impl<W: GameWorld> SeveClient<W> {
     /// the pending queue. Returns the compute cost of the re-evaluations.
     fn reconcile(&mut self, extra: &ObjectSet) -> u64 {
         self.metrics.reconciliations += 1;
-        let mut reset = self.pending.ws_set().clone();
-        reset.union_with(extra);
-        self.zeta_co.copy_objects_from(self.replay.state(), &reset);
+        // Reset on WS(Q) ∪ extra — as two copies over the (possibly
+        // overlapping) sets, so no union set is allocated per message.
+        self.zeta_co
+            .copy_objects_from(self.replay.state(), self.pending.ws_set());
+        self.zeta_co.copy_objects_from(self.replay.state(), extra);
         let mut cost = 0u64;
         let world = &self.world;
         let zeta_co = &mut self.zeta_co;
@@ -197,8 +200,9 @@ impl<W: GameWorld> SeveClient<W> {
         if entry.optimistic != *stable {
             // "Otherwise, ζ_CO is reconciled with ζ_CS using Algorithm 3."
             // The returned action's writes polluted ζ_CO too; include them
-            // in the reset set.
-            cost += self.reconcile(&entry.action.write_set().clone());
+            // in the reset set. `entry` is owned (already removed from Q),
+            // so its write set borrows freely across the call.
+            cost += self.reconcile(entry.action.write_set());
         }
         cost
     }
@@ -283,8 +287,8 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
                                 // permanent values (Algorithm 4 step 4).
                                 // Blinds the replay discarded as stale must
                                 // not regress ζ_CO either.
-                                let ws_q = self.pending.ws_set().clone();
-                                self.zeta_co.apply_snapshot_except(&snap, &ws_q);
+                                self.zeta_co
+                                    .apply_snapshot_except(&snap, self.pending.ws_set());
                             }
                         }
                         Payload::Action(action) => {
@@ -328,8 +332,8 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
                             if ins.rebuilt {
                                 cost += self.resync_optimistic();
                             } else if !own {
-                                let ws_q = self.pending.ws_set().clone();
-                                self.zeta_co.apply_writes_except(&stable.writes, &ws_q);
+                                self.zeta_co
+                                    .apply_writes_except(&stable.writes, self.pending.ws_set());
                             }
                             if self.sends_completions() && (own || self.redundant_completions) {
                                 self.metrics.completions_sent += 1;
@@ -352,7 +356,7 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
                     if let Some(t) = self.submit_times.remove(&id.seq) {
                         self.metrics.drop_notice_ms.record((now - t).as_ms_f64());
                     }
-                    cost += self.reconcile(&entry.action.write_set().clone());
+                    cost += self.reconcile(entry.action.write_set());
                 } else {
                     debug_assert!(false, "drop notice for unknown action {id:?}");
                 }
@@ -362,6 +366,9 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
             }
         }
         self.metrics.replay_divergences = self.replay.divergences();
+        self.metrics.replay_entries_replayed = self.replay.entries_replayed();
+        self.metrics.replay_checkpoint_hits = self.replay.checkpoint_hits();
+        self.metrics.replay_commute_hits = self.replay.commute_hits();
         self.metrics.compute_us += cost;
         cost
     }

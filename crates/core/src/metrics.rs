@@ -58,6 +58,16 @@ pub struct ClientMetrics {
     /// Re-evaluations during rebuilds that produced a different outcome —
     /// a violation of the Algorithm 6 closure contract; must stay zero.
     pub replay_divergences: u64,
+    /// Log entries re-applied during rebuilds — the real host-side work
+    /// behind `replay_rebuilds` (checkpoints shrink this; the
+    /// protocol-visible rebuild count is unchanged).
+    pub replay_entries_replayed: u64,
+    /// Rebuilds that started from an intermediate checkpoint rather than
+    /// base.
+    pub replay_checkpoint_hits: u64,
+    /// Out-of-order inserts spliced in place because their write set
+    /// commutes with the whole log suffix (no replay at all).
+    pub replay_commute_hits: u64,
     /// Batches received.
     pub batches: u64,
     /// Completion messages sent.

@@ -31,8 +31,9 @@ pub struct PendingEntry<A> {
 pub struct PendingQueue<A> {
     entries: VecDeque<PendingEntry<A>>,
     ws_counts: BTreeMap<ObjectId, u32>,
+    /// `ws_counts.keys()` as an [`ObjectSet`], updated on every 0↔1 count
+    /// transition so [`PendingQueue::ws_set`] needs only a shared borrow.
     ws_cache: ObjectSet,
-    ws_dirty: bool,
 }
 
 impl<A: Action> Default for PendingQueue<A> {
@@ -48,7 +49,6 @@ impl<A: Action> PendingQueue<A> {
             entries: VecDeque::new(),
             ws_counts: BTreeMap::new(),
             ws_cache: ObjectSet::new(),
-            ws_dirty: false,
         }
     }
 
@@ -67,9 +67,12 @@ impl<A: Action> PendingQueue<A> {
     /// Append ⟨a, v⟩ (Algorithm 1 step 2).
     pub fn push(&mut self, action: A, optimistic: Outcome) {
         for o in action.write_set().iter() {
-            *self.ws_counts.entry(o).or_insert(0) += 1;
+            let c = self.ws_counts.entry(o).or_insert(0);
+            *c += 1;
+            if *c == 1 {
+                self.ws_cache.insert(o);
+            }
         }
-        self.ws_dirty = true;
         self.entries.push_back(PendingEntry { action, optimistic });
     }
 
@@ -81,17 +84,23 @@ impl<A: Action> PendingQueue<A> {
     /// Remove and return the head entry (Algorithm 1 step 5).
     pub fn pop_head(&mut self) -> Option<PendingEntry<A>> {
         let e = self.entries.pop_front()?;
-        for o in e.action.write_set().iter() {
-            match self.ws_counts.get_mut(&o) {
+        Self::ws_release(&mut self.ws_counts, &mut self.ws_cache, &e.action);
+        Some(e)
+    }
+
+    /// Decrement the multiset for one removed action, dropping objects
+    /// whose count reaches zero from the cached set.
+    fn ws_release(counts: &mut BTreeMap<ObjectId, u32>, cache: &mut ObjectSet, action: &A) {
+        for o in action.write_set().iter() {
+            match counts.get_mut(&o) {
                 Some(c) if *c > 1 => *c -= 1,
                 Some(_) => {
-                    self.ws_counts.remove(&o);
+                    counts.remove(&o);
+                    cache.remove(o);
                 }
                 None => debug_assert!(false, "WS multiset out of sync"),
             }
         }
-        self.ws_dirty = true;
-        Some(e)
     }
 
     /// Remove the entry for a specific action (used for drop notices, which
@@ -99,16 +108,7 @@ impl<A: Action> PendingQueue<A> {
     pub fn remove_by_id(&mut self, id: seve_world::ids::ActionId) -> Option<PendingEntry<A>> {
         let idx = self.entries.iter().position(|e| e.action.id() == id)?;
         let e = self.entries.remove(idx)?;
-        for o in e.action.write_set().iter() {
-            match self.ws_counts.get_mut(&o) {
-                Some(c) if *c > 1 => *c -= 1,
-                Some(_) => {
-                    self.ws_counts.remove(&o);
-                }
-                None => debug_assert!(false, "WS multiset out of sync"),
-            }
-        }
-        self.ws_dirty = true;
+        Self::ws_release(&mut self.ws_counts, &mut self.ws_cache, &e.action);
         Some(e)
     }
 
@@ -118,12 +118,10 @@ impl<A: Action> PendingQueue<A> {
         self.ws_counts.contains_key(&obj)
     }
 
-    /// `WS(Q)` as a set (cached; rebuilt lazily after mutations).
-    pub fn ws_set(&mut self) -> &ObjectSet {
-        if self.ws_dirty {
-            self.ws_cache = self.ws_counts.keys().copied().collect();
-            self.ws_dirty = false;
-        }
+    /// `WS(Q)` as a set (maintained incrementally; no rebuild, no `&mut`).
+    #[inline]
+    pub fn ws_set(&self) -> &ObjectSet {
+        debug_assert_eq!(self.ws_cache.len(), self.ws_counts.len());
         &self.ws_cache
     }
 

@@ -15,21 +15,67 @@
 //!
 //! In-order arrivals (the overwhelmingly common case) extend the cache
 //! incrementally. An out-of-order arrival rebuilds the cache by replaying
-//! from `base` — and, by the closure property of Algorithm 6, every
+//! a suffix — and, by the closure property of Algorithm 6, every
 //! re-evaluated action reproduces its original outcome (an action that
 //! could have changed an already-evaluated action's inputs would have been
 //! in that action's closure and hence already present). Debug builds and
 //! the consistency oracle verify this.
+//!
+//! # Checkpoints, sparse reconciliation, and the commutativity fast path
+//!
+//! A naïve rebuild replays the whole log from `base`, making out-of-order
+//! reconciliation quadratic in window size. Three layers shrink that:
+//!
+//! * **Periodic checkpoints.** Every `checkpoint_interval` applied items
+//!   the log records `⟨upto, delta⟩` where `delta` is a [`Snapshot`] of
+//!   every object touched since the previous checkpoint, captured from the
+//!   true replay state at the boundary. By induction
+//!   `state(upto_i) = base ⊕ delta_1 ⊕ … ⊕ delta_i`, so reconciliation at
+//!   position `p` resumes from the nearest checkpoint `< p` instead of
+//!   `base`.
+//! * **Commutativity splice.** If the inserted item is signature-gated
+//!   disjoint ([`ObjectSet::intersects`]) from the read *and* write sets
+//!   of every later log entry, applying it at the tail equals applying it
+//!   at `p`: its evaluation inputs cannot have been written after `p`, and
+//!   nothing after `p` reads or overwrites its writes. The item is then
+//!   evaluated against the cache and spliced in with no replay at all,
+//!   folding its writes into the first checkpoint delta past `p` so the
+//!   chain stays valid.
+//! * **Sparse reconciliation.** A conflicting out-of-order *action* never
+//!   replays the suffix either. The closure contract pins every later
+//!   entry to its stored outcome, so the log materializes just the
+//!   action's own footprint at `p` (checkpoint deltas plus the stored
+//!   writes of the few entries since the boundary, filtered by signature),
+//!   evaluates once, and folds in only the writes no later entry
+//!   overwrites — attribute-granular against later actions,
+//!   object-granular against blind snapshots. See
+//!   `ReplayLog::reconcile_sparse`. Out-of-order *blind writes* that fail
+//!   the commute gate still take the suffix replay from the nearest
+//!   checkpoint (they carry whole-object values, not per-attribute
+//!   writes, and are far rarer than actions).
+//!
+//! All three layers are *work* optimizations, not behaviour changes:
+//! outcomes, evaluation counts, and the materialized state are
+//! bit-identical to the full rebuild, which remains available
+//! (`checkpoint_interval = 0`, or verification mode) as the reference
+//! oracle. Real work is reported via [`ReplayLog::entries_replayed`] and
+//! friends.
 
 use seve_world::action::{Action, Outcome};
 use seve_world::ids::QueuePos;
-use seve_world::state::{Snapshot, WorldState};
+use seve_world::objset::ObjectSet;
+use seve_world::state::{Snapshot, WorldState, WriteLog};
 use std::collections::BTreeMap;
+use std::ops::Bound;
 
 /// Sort key: `(position, phase, arrival)` where phase 0 = the action at
 /// this position, phase 1 = a blind write capturing committed state *after*
 /// this position.
 type Key = (QueuePos, u8, u64);
+
+/// Checkpoint interval used when none is configured (the Table I default
+/// of [`crate::config::ProtocolConfig`]).
+const DEFAULT_CHECKPOINT_INTERVAL: usize = 32;
 
 enum LogItem<A> {
     Action {
@@ -38,7 +84,19 @@ enum LogItem<A> {
         /// checkpoint advancement never re-runs game code.
         outcome: Option<Outcome>,
     },
-    Blind(Snapshot),
+    Blind {
+        snap: Snapshot,
+        /// The snapshot's object set, precomputed for the commute gate.
+        objs: ObjectSet,
+    },
+}
+
+/// One link of the checkpoint chain: the replay state just after applying
+/// the item at `upto` is `base ⊕ delta_1 ⊕ … ⊕ delta_i`.
+struct Checkpoint {
+    upto: Key,
+    /// Objects touched since the previous checkpoint, valued as of `upto`.
+    delta: Snapshot,
 }
 
 /// What happened when an item was inserted.
@@ -46,7 +104,10 @@ enum LogItem<A> {
 pub struct Inserted {
     /// The stable outcome of the inserted action (None for blind writes).
     pub outcome: Option<Outcome>,
-    /// Did insertion require a full replay rebuild (out-of-order arrival)?
+    /// Did insertion require reconciliation (out-of-order arrival)? True
+    /// even when the commute fast path skipped the replay: the optimistic
+    /// side must still resync, and the protocol-visible rebuild count must
+    /// not depend on the work optimization.
     pub rebuilt: bool,
     /// Was the item discarded as stale (older than the checkpoint)?
     /// Callers must not propagate ignored items anywhere else either.
@@ -66,9 +127,28 @@ pub struct ReplayLog<A> {
     /// (must stay zero under the full protocol; see [`ReplayLog::rebuild`]).
     divergences: u64,
     /// Verify the closure property on every rebuild by re-evaluating the
-    /// suffix (costly); off by default — rebuilds then re-apply stored
-    /// outcomes, which the Algorithm 6 contract guarantees identical.
+    /// whole suffix from base (costly); off by default — rebuilds then
+    /// re-apply stored outcomes, which the Algorithm 6 contract guarantees
+    /// identical.
     verify_rebuilds: bool,
+    /// Snapshot ζ every this-many applied items; `0` disables checkpoints
+    /// and the commute fast path (the full-rebuild reference oracle).
+    checkpoint_interval: usize,
+    /// The delta chain, ordered by `upto`.
+    checkpoints: Vec<Checkpoint>,
+    /// Items applied since the last checkpoint boundary.
+    since_ckpt: usize,
+    /// Objects touched since the last checkpoint boundary.
+    dirty: ObjectSet,
+    /// Memoized `base ⊕ delta_1 ⊕ … ⊕ delta_n` for the last rebuild start
+    /// point, so storms hammering the same region skip the prefix fold.
+    materialized: Option<(usize, WorldState)>,
+    /// Log entries re-applied across all rebuilds (the real work).
+    entries_replayed: u64,
+    /// Rebuilds that started from an intermediate checkpoint.
+    checkpoint_hits: u64,
+    /// Out-of-order inserts spliced in place with no replay.
+    commute_hits: u64,
 }
 
 impl<A: Action> ReplayLog<A> {
@@ -88,13 +168,38 @@ impl<A: Action> ReplayLog<A> {
             applied_hi: None,
             divergences: 0,
             verify_rebuilds: false,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            checkpoints: Vec::new(),
+            since_ckpt: 0,
+            dirty: ObjectSet::new(),
+            materialized: None,
+            entries_replayed: 0,
+            checkpoint_hits: 0,
+            commute_hits: 0,
         }
     }
 
     /// Enable suffix re-evaluation on rebuilds (the closure-property
-    /// verification mode used by tests; costly on long logs).
+    /// verification mode used by tests; costly on long logs). Configure
+    /// before inserting items: dirty tracking is suspended while on, so a
+    /// checkpoint chain cannot straddle the toggle.
     pub fn set_verify_rebuilds(&mut self, on: bool) {
+        debug_assert!(self.items.is_empty(), "configure before inserting items");
         self.verify_rebuilds = on;
+    }
+
+    /// Set the checkpoint interval K (`0` = full-rebuild oracle mode).
+    /// Configure before inserting items.
+    pub fn set_checkpoint_interval(&mut self, k: usize) {
+        debug_assert!(self.items.is_empty(), "configure before inserting items");
+        self.checkpoint_interval = k;
+    }
+
+    /// Are checkpoints and the commute fast path active? Verification mode
+    /// replays everything from base by definition, so it forces the oracle.
+    #[inline]
+    fn indexing(&self) -> bool {
+        self.checkpoint_interval != 0 && !self.verify_rebuilds
     }
 
     /// The materialized stable state ζ_CS.
@@ -116,6 +221,12 @@ impl<A: Action> ReplayLog<A> {
         self.items.len()
     }
 
+    /// Number of live checkpoints in the delta chain (diagnostics).
+    #[inline]
+    pub fn checkpoints_len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
     /// Re-evaluations whose outcome differed from the original evaluation.
     /// Always zero when the server honours the Algorithm 6 closure
     /// contract (delivering an action's full support no later than the
@@ -123,6 +234,28 @@ impl<A: Action> ReplayLog<A> {
     #[inline]
     pub fn divergences(&self) -> u64 {
         self.divergences
+    }
+
+    /// Log entries re-applied across all reconciliations — the real
+    /// host-side work behind the protocol-visible rebuild count. Suffix
+    /// replays count every re-applied entry; sparse reconciliation counts
+    /// the in-window entries whose stored writes it folds in.
+    #[inline]
+    pub fn entries_replayed(&self) -> u64 {
+        self.entries_replayed
+    }
+
+    /// Rebuilds that started from an intermediate checkpoint, not base.
+    #[inline]
+    pub fn checkpoint_hits(&self) -> u64 {
+        self.checkpoint_hits
+    }
+
+    /// Out-of-order inserts spliced in place because they commute with the
+    /// whole log suffix.
+    #[inline]
+    pub fn commute_hits(&self) -> u64 {
+        self.commute_hits
     }
 
     /// Has an action at `pos` already been inserted?
@@ -144,6 +277,57 @@ impl<A: Action> ReplayLog<A> {
         debug_assert!(!self.has_action(pos), "duplicate action position");
         let key: Key = (pos, 0, self.next_arrival());
         let in_order = self.applied_hi.is_none_or(|hi| key > hi);
+        if in_order {
+            // Fast path: evaluate against the current cache and extend it.
+            let o = eval(pos, &action, &self.cache, true);
+            self.cache.apply_writes(&o.writes);
+            if self.indexing() {
+                o.writes.add_touched_to(&mut self.dirty);
+                self.maybe_checkpoint(key);
+            }
+            self.items.insert(
+                key,
+                LogItem::Action {
+                    action,
+                    outcome: Some(o.clone()),
+                },
+            );
+            self.applied_hi = Some(key);
+            return Inserted {
+                outcome: Some(o),
+                rebuilt: false,
+                ignored: false,
+            };
+        }
+        if self.indexing() {
+            let o = if self.action_commutes(key, &action) {
+                // Commute splice: nothing after `pos` wrote the action's
+                // reads, so the cache view of its read set *is* the
+                // position-`pos` view — evaluate against it directly.
+                // Nothing after `pos` reads or writes its writes, so
+                // applying them at the tail equals applying them at `pos`.
+                self.commute_hits += 1;
+                let o = eval(pos, &action, &self.cache, true);
+                self.cache.apply_writes(&o.writes);
+                let touched = o.writes.touched_objects();
+                self.patch_chain(key, &touched);
+                o
+            } else {
+                self.reconcile_sparse(key, &action, &mut eval)
+            };
+            self.items.insert(
+                key,
+                LogItem::Action {
+                    action,
+                    outcome: Some(o.clone()),
+                },
+            );
+            return Inserted {
+                outcome: Some(o),
+                rebuilt: true,
+                ignored: false,
+            };
+        }
         self.items.insert(
             key,
             LogItem::Action {
@@ -151,29 +335,11 @@ impl<A: Action> ReplayLog<A> {
                 outcome: None,
             },
         );
-        if in_order {
-            // Fast path: evaluate against the current cache and extend it.
-            let LogItem::Action { action, outcome } =
-                self.items.get_mut(&key).expect("just inserted")
-            else {
-                unreachable!()
-            };
-            let o = eval(pos, action, &self.cache, true);
-            self.cache.apply_writes(&o.writes);
-            *outcome = Some(o.clone());
-            self.applied_hi = Some(key);
-            Inserted {
-                outcome: Some(o),
-                rebuilt: false,
-                ignored: false,
-            }
-        } else {
-            let out = self.rebuild(Some(key), &mut eval);
-            Inserted {
-                outcome: out,
-                rebuilt: true,
-                ignored: false,
-            }
+        let out = self.rebuild(key, &mut eval);
+        Inserted {
+            outcome: out,
+            rebuilt: true,
+            ignored: false,
         }
     }
 
@@ -197,25 +363,291 @@ impl<A: Action> ReplayLog<A> {
         }
         let key: Key = (as_of, 1, self.next_arrival());
         let in_order = self.applied_hi.is_none_or(|hi| key > hi);
-        self.items.insert(key, LogItem::Blind(snap));
+        let objs = snap.object_set();
         if in_order {
-            let LogItem::Blind(snap) = &self.items[&key] else {
-                unreachable!()
-            };
-            self.cache.apply_snapshot(snap);
+            self.cache.apply_snapshot(&snap);
+            if self.indexing() {
+                self.dirty.union_with(&objs);
+                self.maybe_checkpoint(key);
+            }
+            self.items.insert(key, LogItem::Blind { snap, objs });
             self.applied_hi = Some(key);
-            Inserted {
+            return Inserted {
                 outcome: None,
                 rebuilt: false,
                 ignored: false,
-            }
-        } else {
-            self.rebuild(None, &mut eval);
-            Inserted {
+            };
+        }
+        if self.indexing() && self.blind_commutes(key, &objs) {
+            // Later entries neither read nor write any snapshot object, so
+            // the blind's values survive to the tail untouched — apply it
+            // to the cache directly.
+            self.commute_hits += 1;
+            self.cache.apply_snapshot(&snap);
+            self.patch_chain(key, &objs);
+            self.items.insert(key, LogItem::Blind { snap, objs });
+            return Inserted {
                 outcome: None,
                 rebuilt: true,
                 ignored: false,
+            };
+        }
+        self.items.insert(key, LogItem::Blind { snap, objs });
+        self.rebuild(key, &mut eval);
+        Inserted {
+            outcome: None,
+            rebuilt: true,
+            ignored: false,
+        }
+    }
+
+    /// Does the action commute with every log entry after `key`? Requires
+    /// both directions: its writes must not feed any later read (or be
+    /// overwritten — covered by RS ⊇ WS), and its reads must not have been
+    /// written after its position. Every test is signature-gated, so a
+    /// storm of spatially disjoint actions answers in O(suffix) cheap
+    /// comparisons with no allocation.
+    fn action_commutes(&self, key: Key, action: &A) -> bool {
+        let rs = action.read_set();
+        let ws = action.write_set();
+        self.items
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .all(|(_, item)| match item {
+                LogItem::Action { action: e, .. } => {
+                    !ws.intersects(e.read_set()) && !rs.intersects(e.write_set())
+                }
+                // A blind both "writes" its objects and carries values later
+                // reads consumed; RS ⊇ WS collapses both checks into one.
+                LogItem::Blind { objs, .. } => !rs.intersects(objs),
+            })
+    }
+
+    /// Does a blind write of `objs` commute with every entry after `key`?
+    fn blind_commutes(&self, key: Key, objs: &ObjectSet) -> bool {
+        self.items
+            .range((Bound::Excluded(key), Bound::Unbounded))
+            .all(|(_, item)| match item {
+                LogItem::Action { action: e, .. } => !objs.intersects(e.read_set()),
+                LogItem::Blind { objs: other, .. } => !objs.intersects(other),
+            })
+    }
+
+    /// Reconcile a conflicting out-of-order action without replaying the
+    /// log (indexing mode only). Two observations make this sound under
+    /// the stored-outcome contract of [`ReplayLog::rebuild`]:
+    ///
+    /// * evaluation needs only the action's own footprint (read ∪ write
+    ///   sets) materialized as of `key` — base ⊕ kept checkpoint deltas,
+    ///   then the stored outcomes of the few entries between the nearest
+    ///   boundary and `key`, all filtered to that footprint;
+    /// * every later entry re-applies its stored outcome unchanged, so the
+    ///   new tail state differs from the current cache by exactly the
+    ///   inserted writes no later entry overwrites (attribute-granular
+    ///   against later actions, object-granular against blind snapshots).
+    ///
+    /// The chain is never truncated: boundaries past `key` stay valid once
+    /// the first one absorbs the inserted writes that survive to it —
+    /// later boundaries inherit them by delta fold, and writes overwritten
+    /// inside the window were already re-asserted at the boundary by their
+    /// overwriter (via its dirty tracking or its own patch).
+    fn reconcile_sparse(
+        &mut self,
+        key: Key,
+        action: &A,
+        eval: &mut impl FnMut(QueuePos, &A, &WorldState, bool) -> Outcome,
+    ) -> Outcome {
+        // --- Materialize the read∪write sets as of `key`. ---
+        let kept = self.checkpoints.partition_point(|c| c.upto < key);
+        if kept > 0 {
+            self.checkpoint_hits += 1;
+        }
+        // The write set rides along so a whole-object boundary patch below
+        // has complete objects even for write-only targets.
+        let mut need = action.read_set().clone();
+        need.union_with(action.write_set());
+        let mut scratch = WorldState::new();
+        // Newest-first walk of the kept deltas: the first delta holding an
+        // object has its newest at-or-before-boundary value; whatever the
+        // chain never touched keeps its base value.
+        let mut found = ObjectSet::new();
+        'deltas: for c in self.checkpoints[..kept].iter().rev() {
+            for (id, obj) in c.delta.iter() {
+                if need.contains(id) && found.insert(id) {
+                    scratch.put(id, obj.clone());
+                    if found.len() == need.len() {
+                        break 'deltas;
+                    }
+                }
             }
+        }
+        for id in need.iter() {
+            if !found.contains(id) {
+                if let Some(obj) = self.base.get(id) {
+                    scratch.put(id, obj.clone());
+                }
+            }
+        }
+        // Roll the few entries between the boundary and `key` forward —
+        // stored outcomes only, filtered to the objects the action can see.
+        let from = match kept {
+            0 => Bound::Unbounded,
+            n => Bound::Excluded(self.checkpoints[n - 1].upto),
+        };
+        for (_, item) in self.items.range((from, Bound::Excluded(key))) {
+            match item {
+                LogItem::Action { action: e, outcome } => {
+                    if !need.intersects(e.write_set()) {
+                        continue;
+                    }
+                    self.entries_replayed += 1;
+                    let prev = outcome.as_ref().expect("indexed entries carry outcomes");
+                    for (o2, a2, v2) in prev.writes.iter() {
+                        if need.contains(o2) {
+                            scratch.set_attr(o2, a2, v2);
+                        }
+                    }
+                }
+                LogItem::Blind { snap, objs } => {
+                    if !need.intersects(objs) {
+                        continue;
+                    }
+                    self.entries_replayed += 1;
+                    for (id, obj) in snap.iter() {
+                        if need.contains(id) {
+                            scratch.put(id, obj.clone());
+                        }
+                    }
+                }
+            }
+        }
+        let o = eval(key.0, action, &scratch, true);
+
+        // --- One suffix pass: which of the inserted writes survive to the
+        // tail, and which to the first checkpoint boundary past `key`? ---
+        let writes: Vec<_> = o.writes.iter().collect();
+        let touched = o.writes.touched_objects();
+        let bound = self.checkpoints.get(kept).map(|c| c.upto);
+        let mut live_tail = vec![true; writes.len()];
+        let mut live_bound = vec![true; writes.len()];
+        for (k2, item) in self.items.range((Bound::Excluded(key), Bound::Unbounded)) {
+            let within = bound.is_some_and(|b| *k2 <= b);
+            if !within && live_tail.iter().all(|l| !*l) {
+                break; // everything shadowed; nothing left to decide
+            }
+            match item {
+                LogItem::Action { action: e, outcome } => {
+                    // Signature gate; actual writes ⊆ the declared set.
+                    if !touched.intersects(e.write_set()) {
+                        continue;
+                    }
+                    let prev = outcome.as_ref().expect("indexed entries carry outcomes");
+                    for (o2, a2, _) in prev.writes.iter() {
+                        for (i, (wo, wa, _)) in writes.iter().enumerate() {
+                            if *wo == o2 && *wa == a2 {
+                                live_tail[i] = false;
+                                if within {
+                                    live_bound[i] = false;
+                                }
+                            }
+                        }
+                    }
+                }
+                LogItem::Blind { objs, .. } => {
+                    // A snapshot overwrites whole objects.
+                    if !touched.intersects(objs) {
+                        continue;
+                    }
+                    for (i, (wo, _, _)) in writes.iter().enumerate() {
+                        if objs.contains(*wo) {
+                            live_tail[i] = false;
+                            if within {
+                                live_bound[i] = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- Apply the surviving writes at the tail. ---
+        let mut filtered = WriteLog::new();
+        for (i, (wo, wa, v)) in writes.iter().enumerate() {
+            if live_tail[i] {
+                filtered.push(*wo, *wa, *v);
+            }
+        }
+        self.cache.apply_writes(&filtered);
+
+        // --- Keep the chain valid. ---
+        scratch.apply_writes(&o.writes); // at-`key` values incl. the new writes
+        if kept < self.checkpoints.len() {
+            let delta = &mut self.checkpoints[kept].delta;
+            for (i, (wo, wa, v)) in writes.iter().enumerate() {
+                if !live_bound[i] {
+                    continue; // re-asserted by its in-window overwriter
+                }
+                match delta.get_mut(*wo) {
+                    // Another attribute of `wo` was written inside the
+                    // window, so the delta already holds the object; only
+                    // this attribute takes the inserted value.
+                    Some(obj) => obj.set(*wa, *v),
+                    // No in-window toucher at all: the boundary value is
+                    // the at-`key` object.
+                    None => delta.put(*wo, scratch.get(*wo).cloned().expect("written object")),
+                }
+            }
+            if self.materialized.as_ref().is_some_and(|(n, _)| kept < *n) {
+                self.materialized = None;
+            }
+        } else {
+            // Open tail window: the next checkpoint snapshots the cache,
+            // which now carries the surviving writes.
+            filtered.add_touched_to(&mut self.dirty);
+        }
+        o
+    }
+
+    /// After a commute splice at `key` touched `touched`, keep the
+    /// checkpoint chain valid: every checkpoint past `key` must reflect the
+    /// spliced writes. Because nothing after `key` touches these objects,
+    /// their value at *every* later boundary is the cache value, and only
+    /// the first checkpoint past `key` needs them in its delta (later
+    /// deltas cannot contain them — no later item, nor any earlier splice
+    /// still passing this gate, wrote them).
+    fn patch_chain(&mut self, key: Key, touched: &ObjectSet) {
+        if touched.is_empty() {
+            return;
+        }
+        let idx = self.checkpoints.partition_point(|c| c.upto < key);
+        if idx < self.checkpoints.len() {
+            let patch = self.cache.snapshot_of(touched);
+            for (id, obj) in patch.iter() {
+                self.checkpoints[idx].delta.put(id, obj.clone());
+            }
+            if self.materialized.as_ref().is_some_and(|(n, _)| idx < *n) {
+                self.materialized = None;
+            }
+        } else {
+            // The splice landed in the open tail window; fold it into the
+            // running dirty set so the next checkpoint covers it.
+            self.dirty.union_with(touched);
+        }
+    }
+
+    /// Count one applied item towards the checkpoint cadence and cut a
+    /// checkpoint at `key` when the interval is reached. The delta captures
+    /// the dirty objects from the *materialized cache*, i.e. the true state
+    /// at the boundary — supersets of the actually-touched set would be
+    /// safe, stale values would not.
+    fn maybe_checkpoint(&mut self, key: Key) {
+        self.since_ckpt += 1;
+        if self.since_ckpt >= self.checkpoint_interval {
+            self.checkpoints.push(Checkpoint {
+                upto: key,
+                delta: self.cache.snapshot_of(&self.dirty),
+            });
+            self.dirty.clear();
+            self.since_ckpt = 0;
         }
     }
 
@@ -242,10 +674,22 @@ impl<A: Action> ReplayLog<A> {
                     });
                     self.base.apply_writes(&o.writes);
                 }
-                LogItem::Blind(s) => self.base.apply_snapshot(&s),
+                LogItem::Blind { snap, .. } => self.base.apply_snapshot(&snap),
             }
         }
         self.base_pos = pos;
+        // Checkpoints covering only folded items are subsumed by the new
+        // base. Survivors stay valid against it: any fold-window touch
+        // past a survivor's predecessor is re-asserted by that survivor's
+        // delta, and objects last touched inside the folded span carry the
+        // same value in the new base as in the dropped deltas.
+        let bound: Key = (pos + 1, 0, 0);
+        let drop_n = self.checkpoints.partition_point(|c| c.upto < bound);
+        if drop_n > 0 {
+            self.checkpoints.drain(..drop_n);
+            // The memo indexes the old chain; rebuilt lazily.
+            self.materialized = None;
+        }
         // The cache is unaffected: base ⊕ remaining items is unchanged.
     }
 
@@ -254,8 +698,10 @@ impl<A: Action> ReplayLog<A> {
         self.arrivals
     }
 
-    /// Replay everything from the checkpoint after an out-of-order insert.
-    /// Returns the outcome of the item at `want`, if requested.
+    /// Replay the log suffix affected by an out-of-order insert at
+    /// `inserted`, starting from the nearest checkpoint before it (or from
+    /// base in oracle/verification mode). Returns the outcome of the
+    /// inserted action, if it was one.
     ///
     /// Only items without a stored outcome (normally exactly the one just
     /// inserted) are *evaluated*; everything else re-applies its stored
@@ -267,37 +713,96 @@ impl<A: Action> ReplayLog<A> {
     /// integration tests run to *check* the contract.
     fn rebuild(
         &mut self,
-        want: Option<Key>,
+        inserted: Key,
         eval: &mut impl FnMut(QueuePos, &A, &WorldState, bool) -> Outcome,
     ) -> Option<Outcome> {
-        let mut state = self.base.clone();
+        let indexing = self.indexing();
+        // Checkpoints past the insertion point no longer describe the log;
+        // drop them (they are recreated below as the replay runs).
+        let kept = if indexing {
+            self.checkpoints.partition_point(|c| c.upto < inserted)
+        } else {
+            0
+        };
+        self.checkpoints.truncate(kept);
+        if kept > 0 {
+            self.checkpoint_hits += 1;
+        }
+        // Materialize the start state: base ⊕ delta_1 ⊕ … ⊕ delta_kept,
+        // resuming from the memoized prefix when it still applies.
+        let mut state;
+        let done = match self.materialized.take() {
+            Some((n, s)) if n <= kept => {
+                state = s;
+                n
+            }
+            _ => {
+                state = self.base.clone();
+                0
+            }
+        };
+        for c in &self.checkpoints[done..] {
+            state.apply_snapshot(&c.delta);
+        }
+        if kept > 0 {
+            self.materialized = Some((kept, state.clone()));
+        }
+        let from = self.checkpoints.last().map(|c| c.upto);
+        self.dirty.clear();
+        self.since_ckpt = 0;
+        let range = match from {
+            Some(k) => (Bound::Excluded(k), Bound::Unbounded),
+            None => (Bound::Unbounded, Bound::Unbounded),
+        };
         let mut wanted = None;
-        let mut hi = None;
-        for (key, item) in self.items.iter_mut() {
+        let mut hi = from;
+        for (key, item) in self.items.range_mut(range) {
+            self.entries_replayed += 1;
             match item {
                 LogItem::Action { action, outcome } => {
-                    let o = match outcome.as_ref() {
-                        Some(prev) if !self.verify_rebuilds => prev.clone(),
-                        prev => {
-                            let first_time = prev.is_none();
-                            let o = eval(key.0, action, &state, first_time);
-                            if let Some(prev) = prev {
-                                // A divergence here means the server sent
-                                // support too late — a closure violation.
-                                if prev != &o {
-                                    self.divergences += 1;
-                                }
-                            }
-                            o
+                    if let (false, Some(prev)) = (self.verify_rebuilds, outcome.as_ref()) {
+                        // Re-apply the stored outcome, borrowed — no clone.
+                        state.apply_writes(&prev.writes);
+                        if indexing {
+                            prev.writes.add_touched_to(&mut self.dirty);
                         }
-                    };
-                    state.apply_writes(&o.writes);
-                    if Some(*key) == want {
-                        wanted = Some(o.clone());
+                    } else {
+                        let first_time = outcome.is_none();
+                        let o = eval(key.0, action, &state, first_time);
+                        if let Some(prev) = outcome.as_ref() {
+                            // A divergence here means the server sent
+                            // support too late — a closure violation.
+                            if *prev != o {
+                                self.divergences += 1;
+                            }
+                        }
+                        state.apply_writes(&o.writes);
+                        if indexing {
+                            o.writes.add_touched_to(&mut self.dirty);
+                        }
+                        if *key == inserted {
+                            wanted = Some(o.clone());
+                        }
+                        *outcome = Some(o);
                     }
-                    *outcome = Some(o);
                 }
-                LogItem::Blind(s) => state.apply_snapshot(s),
+                LogItem::Blind { snap, objs } => {
+                    state.apply_snapshot(snap);
+                    if indexing {
+                        self.dirty.union_with(objs);
+                    }
+                }
+            }
+            if indexing {
+                self.since_ckpt += 1;
+                if self.since_ckpt >= self.checkpoint_interval {
+                    self.checkpoints.push(Checkpoint {
+                        upto: *key,
+                        delta: state.snapshot_of(&self.dirty),
+                    });
+                    self.dirty.clear();
+                    self.since_ckpt = 0;
+                }
             }
             hi = Some(*key);
         }
@@ -320,21 +825,34 @@ mod tests {
     const X: ObjectId = ObjectId(0);
     const V: AttrId = AttrId(0);
 
-    /// An action that increments object X's counter by `delta` — evaluation
-    /// genuinely depends on the prior state, so replay order is observable.
+    /// An action that increments one attribute of one object by `delta` —
+    /// evaluation genuinely depends on the prior state, so replay order is
+    /// observable.
     #[derive(Clone, Debug)]
     struct AddAction {
         id: ActionId,
         delta: i64,
+        attr: AttrId,
         set: ObjectSet,
     }
 
     impl AddAction {
         fn new(seq: u32, delta: i64) -> Self {
+            Self::on(seq, X, delta)
+        }
+
+        /// An increment of `obj`'s counter (for commute tests).
+        fn on(seq: u32, obj: ObjectId, delta: i64) -> Self {
+            Self::on_attr(seq, obj, V, delta)
+        }
+
+        /// An increment of a specific attribute (for masking tests).
+        fn on_attr(seq: u32, obj: ObjectId, attr: AttrId, delta: i64) -> Self {
             Self {
                 id: ActionId::new(ClientId(0), seq),
                 delta,
-                set: ObjectSet::singleton(X),
+                attr,
+                set: ObjectSet::singleton(obj),
             }
         }
     }
@@ -354,9 +872,10 @@ mod tests {
             Influence::sphere(Vec2::ZERO, 0.0)
         }
         fn evaluate(&self, _env: &(), s: &WorldState) -> Outcome {
-            let cur = s.attr(X, V).and_then(|v| v.as_i64()).unwrap_or(0);
+            let obj = self.set.iter().next().unwrap();
+            let cur = s.attr(obj, self.attr).and_then(|v| v.as_i64()).unwrap_or(0);
             let mut w = WriteLog::new();
-            w.push(X, V, (cur + self.delta).into());
+            w.push(obj, self.attr, (cur + self.delta).into());
             Outcome::ok(w)
         }
         fn wire_bytes(&self) -> u32 {
@@ -485,5 +1004,174 @@ mod tests {
         log.gc(2);
         assert!(log.has_action(2), "folded positions count as present");
         assert!(log.has_action(1), "positions before the checkpoint too");
+    }
+
+    /// Fill `log` with one conflicting increment per position in `range`
+    /// (all touch X, so nothing commutes).
+    fn fill(log: &mut ReplayLog<AddAction>, range: std::ops::RangeInclusive<u64>) {
+        for p in range {
+            log.insert_action(p, AddAction::new(p as u32, 1), ev);
+        }
+    }
+
+    #[test]
+    fn checkpointed_insert_replays_only_the_in_window_prefix() {
+        let mut log = ReplayLog::new(initial());
+        log.set_checkpoint_interval(4);
+        fill(&mut log, 1..=12);
+        assert_eq!(log.checkpoints_len(), 3, "checkpoint every 4 items");
+        // Delay position 13, apply 14..=20, then deliver 13 late: sparse
+        // reconciliation resumes at the checkpoint after item 12, and 13
+        // lands right at that boundary — nothing between them to replay.
+        fill(&mut log, 14..=20);
+        let before = log.entries_replayed();
+        let r = log.insert_action(13, AddAction::new(13, 1), ev);
+        assert!(r.rebuilt);
+        assert_eq!(log.checkpoint_hits(), 1);
+        assert_eq!(
+            log.entries_replayed() - before,
+            0,
+            "boundary-aligned insert materializes its read set for free"
+        );
+        // 14..=20 keep their *stored* outcomes (the non-verify contract),
+        // so the late 13 does not ripple into them.
+        assert_eq!(x_of(log.state()), 19);
+        // A second straggler mid-window: the in-order cadence cuts a
+        // checkpoint at position 21, then 22 and 24 apply and 23 lands
+        // late. The window (21, 23) holds one entry — 22 — and only it is
+        // replayed; the suffix entry 24 is scanned for shadowing, never
+        // re-applied.
+        fill(&mut log, 21..=22);
+        fill(&mut log, 24..=24);
+        let before = log.entries_replayed();
+        log.insert_action(23, AddAction::new(23, 1), ev);
+        assert_eq!(log.entries_replayed() - before, 1, "only entry 22");
+        // Reference: an oracle log fed the same schedule agrees exactly.
+        let mut oracle = ReplayLog::new(initial());
+        oracle.set_checkpoint_interval(0);
+        fill(&mut oracle, 1..=12);
+        fill(&mut oracle, 14..=20);
+        oracle.insert_action(13, AddAction::new(13, 1), ev);
+        fill(&mut oracle, 21..=22);
+        fill(&mut oracle, 24..=24);
+        oracle.insert_action(23, AddAction::new(23, 1), ev);
+        assert_eq!(log.state().digest(), oracle.state().digest());
+        assert_eq!(log.divergences(), 0);
+    }
+
+    #[test]
+    fn commuting_insert_splices_without_replay() {
+        let y = ObjectId(7);
+        let mut log = ReplayLog::new(initial());
+        log.set_checkpoint_interval(4);
+        fill(&mut log, 1..=10);
+        let before = log.entries_replayed();
+        // Position 11 delayed; 12..=16 (on X) apply first; 11 touches only
+        // Y, disjoint from everything later → splice, no replay.
+        fill(&mut log, 12..=16);
+        let r = log.insert_action(11, AddAction::on(11, y, 5), ev);
+        assert!(r.rebuilt, "protocol-visible rebuild count is unchanged");
+        assert_eq!(log.commute_hits(), 1);
+        assert_eq!(log.entries_replayed(), before, "no entries replayed");
+        assert_eq!(x_of(log.state()), 15);
+        assert_eq!(
+            log.state().attr(y, V).and_then(|v| v.as_i64()),
+            Some(5),
+            "spliced write landed"
+        );
+        // A later rebuild through the patched chain still agrees with the
+        // oracle (the splice patched the checkpoint past position 11).
+        fill(&mut log, 18..=24);
+        log.insert_action(17, AddAction::new(17, 1), ev);
+        let mut oracle = ReplayLog::new(initial());
+        oracle.set_checkpoint_interval(0);
+        fill(&mut oracle, 1..=10);
+        fill(&mut oracle, 12..=16);
+        oracle.insert_action(11, AddAction::on(11, y, 5), ev);
+        fill(&mut oracle, 18..=24);
+        oracle.insert_action(17, AddAction::new(17, 1), ev);
+        assert_eq!(log.state().digest(), oracle.state().digest());
+        assert_eq!(log.divergences(), 0);
+    }
+
+    #[test]
+    fn conflicting_insert_never_takes_the_fast_path() {
+        let mut log = ReplayLog::new(initial());
+        log.set_checkpoint_interval(4);
+        fill(&mut log, 1..=6);
+        // Position 7 delayed; 8 (also on X) applies first. 7's write feeds
+        // 8's read, so the splice gate must refuse and the rebuild must
+        // re-serialize them in position order.
+        fill(&mut log, 8..=8);
+        let r = log.insert_action(7, AddAction::new(7, 100), ev);
+        assert!(r.rebuilt);
+        assert_eq!(log.commute_hits(), 0, "overlapping write set: no splice");
+        let mut oracle = ReplayLog::new(initial());
+        oracle.set_checkpoint_interval(0);
+        fill(&mut oracle, 1..=6);
+        fill(&mut oracle, 8..=8);
+        oracle.insert_action(7, AddAction::new(7, 100), ev);
+        assert_eq!(log.state().digest(), oracle.state().digest());
+    }
+
+    #[test]
+    fn sparse_masking_is_attribute_granular() {
+        // Declared sets are object-granular (both stragglers conflict on X
+        // and fail the commute gate), but shadowing must compare *stored
+        // writes* per attribute: a later writer of X.V must not suppress a
+        // late write to X.W of the same object.
+        let w = AttrId(1);
+        let mut log = ReplayLog::new(initial());
+        log.set_checkpoint_interval(4);
+        fill(&mut log, 1..=3);
+        // Delay 4 (writes X.W); 5 (writes X.V) applies first.
+        fill(&mut log, 5..=5);
+        log.insert_action(4, AddAction::on_attr(4, X, w, 40), ev);
+        assert_eq!(log.commute_hits(), 0, "same object: gate refuses");
+        assert_eq!(
+            log.state().attr(X, w).and_then(|v| v.as_i64()),
+            Some(40),
+            "X.W survives — only X.V had a later writer"
+        );
+        assert_eq!(x_of(log.state()), 4, "X.V keeps entry 5's stored value");
+        // And the converse: a late X.V write *is* shadowed by entry 5.
+        fill(&mut log, 7..=7);
+        log.insert_action(6, AddAction::new(6, 100), ev);
+        let mut oracle = ReplayLog::new(initial());
+        oracle.set_checkpoint_interval(0);
+        fill(&mut oracle, 1..=3);
+        fill(&mut oracle, 5..=5);
+        oracle.insert_action(4, AddAction::on_attr(4, X, w, 40), ev);
+        fill(&mut oracle, 7..=7);
+        oracle.insert_action(6, AddAction::new(6, 100), ev);
+        assert_eq!(log.state().digest(), oracle.state().digest());
+        assert_eq!(log.divergences(), 0);
+    }
+
+    #[test]
+    fn gc_drops_subsumed_checkpoints_and_keeps_the_chain_valid() {
+        let mut log = ReplayLog::new(initial());
+        log.set_checkpoint_interval(4);
+        fill(&mut log, 1..=16);
+        assert_eq!(log.checkpoints_len(), 4);
+        log.gc(9);
+        assert_eq!(
+            log.checkpoints_len(),
+            2,
+            "checkpoints at 4 and 8 are subsumed by the base"
+        );
+        // An out-of-order insert after GC rebuilds through the surviving
+        // chain and still matches the oracle.
+        fill(&mut log, 18..=20);
+        log.insert_action(17, AddAction::new(17, 1), ev);
+        let mut oracle = ReplayLog::new(initial());
+        oracle.set_checkpoint_interval(0);
+        fill(&mut oracle, 1..=16);
+        oracle.gc(9);
+        fill(&mut oracle, 18..=20);
+        oracle.insert_action(17, AddAction::new(17, 1), ev);
+        assert_eq!(log.state().digest(), oracle.state().digest());
+        assert_eq!(log.base_pos(), oracle.base_pos());
+        assert_eq!(log.divergences(), 0);
     }
 }

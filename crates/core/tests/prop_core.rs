@@ -13,7 +13,8 @@ use seve_world::action::{Action, Influence, Outcome};
 use seve_world::geometry::Vec2;
 use seve_world::ids::{ActionId, AttrId, ClientId, ObjectId, QueuePos};
 use seve_world::objset::ObjectSet;
-use seve_world::state::{WorldState, WriteLog};
+use seve_world::state::{Snapshot, WorldState, WriteLog};
+use seve_world::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A synthetic action over small object ids with an explicit center.
@@ -369,5 +370,110 @@ proptest! {
             log.insert_action(pos, actions[idx].clone(), |_p, a, s, _f| a.evaluate(&(), s));
         }
         prop_assert_eq!(log.state().digest(), reference.digest());
+    }
+
+    /// The checkpointed log is bit-identical to the full-rebuild oracle
+    /// (`checkpoint_interval = 0`) under arbitrary out-of-order arrival
+    /// interleavings, blind writes, and GC'd prefixes — same insert
+    /// results, same state after every step. Both run with verification
+    /// off: that is the production configuration, where rebuilds re-apply
+    /// stored outcomes, and it is the pair the golden digests compare.
+    #[test]
+    fn checkpointed_replay_matches_full_rebuild_oracle(
+        actions in gen_actions(14),
+        order in Just(()).prop_flat_map(|_| proptest::sample::subsequence((0usize..14).collect::<Vec<_>>(), 14).prop_shuffle()),
+        interval in 1usize..6,
+        gc_mask in prop::collection::vec(any::<bool>(), 14),
+        blinds in prop::collection::vec((0u32..8, -100i64..100, 0u64..16, 0usize..14), 0..5),
+    ) {
+        let mut initial = WorldState::new();
+        for o in 0..8u32 {
+            initial.set_attr(ObjectId(o), AttrId(0), 0i64.into());
+        }
+        let ev = |_p: QueuePos, a: &GenAction, s: &WorldState, _f: bool| a.evaluate(&(), s);
+        let mut log: ReplayLog<GenAction> = ReplayLog::new(initial.clone());
+        log.set_checkpoint_interval(interval);
+        let mut oracle: ReplayLog<GenAction> = ReplayLog::new(initial);
+        oracle.set_checkpoint_interval(0);
+        let mut done: BTreeSet<usize> = BTreeSet::new();
+        for (step, &idx) in order.iter().enumerate() {
+            let pos = (idx + 1) as QueuePos;
+            let ri = log.insert_action(pos, actions[idx].clone(), ev);
+            let ro = oracle.insert_action(pos, actions[idx].clone(), ev);
+            prop_assert_eq!(ri, ro, "insert results diverged at step {}", step);
+            done.insert(idx);
+            for &(obj, val, as_of, after) in &blinds {
+                if after == step {
+                    let mut o = seve_world::WorldObject::new();
+                    o.set(AttrId(0), Value::I64(val));
+                    let mut snap = Snapshot::new();
+                    snap.push(ObjectId(obj), o);
+                    let bi = log.insert_blind(as_of, snap.clone(), ev);
+                    let bo = oracle.insert_blind(as_of, snap, ev);
+                    prop_assert_eq!(bi, bo, "blind results diverged at step {}", step);
+                }
+            }
+            if gc_mask[step] {
+                // GC the contiguous received prefix, as the server's
+                // install notices would.
+                let mut p = 0u64;
+                while done.contains(&(p as usize)) {
+                    p += 1;
+                }
+                if p > 0 {
+                    log.gc(p);
+                    oracle.gc(p);
+                }
+            }
+            prop_assert_eq!(
+                log.state().digest(),
+                oracle.state().digest(),
+                "state diverged at step {}",
+                step
+            );
+        }
+        prop_assert_eq!(log.base_pos(), oracle.base_pos());
+        prop_assert_eq!(log.log_len(), oracle.log_len());
+        prop_assert_eq!(log.divergences(), 0);
+        prop_assert_eq!(oracle.divergences(), 0);
+    }
+
+    /// Soundness of the commutativity gate: the fast path must never fire
+    /// when a later entry's read set overlaps the inserted write set (or
+    /// vice versa) — and whether it fires or not, the state must match the
+    /// full-rebuild oracle.
+    #[test]
+    fn commute_fast_path_never_fires_on_overlap(
+        suffix in gen_actions(8),
+        inserted in gen_action(7, 99),
+        interval in 1usize..5,
+    ) {
+        let mut initial = WorldState::new();
+        for o in 0..8u32 {
+            initial.set_attr(ObjectId(o), AttrId(0), 0i64.into());
+        }
+        let ev = |_p: QueuePos, a: &GenAction, s: &WorldState, _f: bool| a.evaluate(&(), s);
+        let mut log: ReplayLog<GenAction> = ReplayLog::new(initial.clone());
+        log.set_checkpoint_interval(interval);
+        // Position 1 is delayed; 2..=9 arrive first.
+        for (i, a) in suffix.iter().enumerate() {
+            log.insert_action((i + 2) as QueuePos, a.clone(), ev);
+        }
+        let overlap = suffix
+            .iter()
+            .any(|e| inserted.ws.intersects(&e.rs) || inserted.rs.intersects(&e.ws));
+        let r = log.insert_action(1, inserted.clone(), ev);
+        prop_assert!(r.rebuilt, "late arrival is protocol-visible either way");
+        if overlap {
+            prop_assert_eq!(log.commute_hits(), 0, "fast path fired on a conflicting suffix");
+        }
+        let mut oracle: ReplayLog<GenAction> = ReplayLog::new(initial);
+        oracle.set_checkpoint_interval(0);
+        for (i, a) in suffix.iter().enumerate() {
+            oracle.insert_action((i + 2) as QueuePos, a.clone(), ev);
+        }
+        let ro = oracle.insert_action(1, inserted.clone(), ev);
+        prop_assert_eq!(r, ro);
+        prop_assert_eq!(log.state().digest(), oracle.state().digest());
     }
 }

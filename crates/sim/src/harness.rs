@@ -102,6 +102,16 @@ pub struct RunResult {
     pub missing_read_evals: u64,
     /// Re-evaluations that changed outcome (must be 0 for SEVE).
     pub replay_divergences: u64,
+    /// Out-of-order reconciliations across all clients (protocol-visible;
+    /// independent of the checkpoint optimization).
+    pub replay_rebuilds: u64,
+    /// Log entries actually re-applied during those rebuilds (the real
+    /// host-side work; checkpoints and the commute gate shrink this).
+    pub replay_entries_replayed: u64,
+    /// Rebuilds that resumed from an intermediate checkpoint.
+    pub replay_checkpoint_hits: u64,
+    /// Out-of-order inserts spliced with no replay at all.
+    pub replay_commute_hits: u64,
     /// Total evaluation records cross-checked.
     pub evals_checked: u64,
     /// Total client compute, µs.
@@ -419,6 +429,10 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
         let mut missing = 0u64;
         let mut client_compute = 0u64;
         let mut divergences = 0u64;
+        let mut rebuilds = 0u64;
+        let mut entries_replayed = 0u64;
+        let mut checkpoint_hits = 0u64;
+        let mut commute_hits = 0u64;
         let mut stable_digests = Vec::with_capacity(n);
         for c in clients.iter_mut() {
             stable_digests.push(c.stable().digest());
@@ -429,6 +443,10 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
             dropped += m.dropped;
             client_compute += m.compute_us;
             divergences += m.replay_divergences;
+            rebuilds += m.replay_rebuilds;
+            entries_replayed += m.replay_entries_replayed;
+            checkpoint_hits += m.replay_checkpoint_hits;
+            commute_hits += m.replay_commute_hits;
             for rec in m.take_eval_records() {
                 missing += u64::from(rec.missing_reads > 0);
                 oracle.observe(&rec);
@@ -467,6 +485,10 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
             violations: oracle.violations().len(),
             missing_read_evals: missing,
             replay_divergences: divergences,
+            replay_rebuilds: rebuilds,
+            replay_entries_replayed: entries_replayed,
+            replay_checkpoint_hits: checkpoint_hits,
+            replay_commute_hits: commute_hits,
             evals_checked: oracle.records(),
             client_compute_us: client_compute,
             server_compute_us: server.metrics().compute_us,

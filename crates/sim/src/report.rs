@@ -130,6 +130,47 @@ pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
         "  egress emitted {} messages, {} wire bytes",
         stage.egress_msgs, stage.egress_bytes
     );
+    let _ = writeln!(
+        out,
+        "  closure index: {} entries visited ({} linear-equivalent)",
+        stage.closure_entries_visited, stage.closure_entries_linear
+    );
+    let _ = writeln!(
+        out,
+        "  analyze index: {} entries visited ({} linear-equivalent)",
+        stage.analyze_entries_visited, stage.analyze_entries_linear
+    );
+    out
+}
+
+/// Render the client-side replay-work counters of one run — the client
+/// counterpart of the server index lines in [`render_stage_profile`].
+/// `rebuilds` is the protocol-visible out-of-order reconciliation count
+/// (unchanged by the optimization); `entries_replayed` is the real work
+/// left after the checkpoint chain and the commutativity gate.
+pub fn render_replay_work(
+    label: &str,
+    rebuilds: u64,
+    entries_replayed: u64,
+    checkpoint_hits: u64,
+    commute_hits: u64,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== client replay work — {label} ==");
+    let _ = writeln!(
+        out,
+        "  {rebuilds} rebuilds replayed {entries_replayed} log entries \
+         ({:.2} per rebuild)",
+        if rebuilds == 0 {
+            0.0
+        } else {
+            entries_replayed as f64 / rebuilds as f64
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  {checkpoint_hits} resumed from a checkpoint, {commute_hits} commute splices (no replay)"
+    );
     out
 }
 
@@ -192,6 +233,20 @@ mod tests {
         }
         assert!(text.contains("SEVE @ 8 clients"));
         assert!(text.contains("3 messages, 120 wire bytes"));
+        assert!(text.contains("closure index"));
+        assert!(text.contains("analyze index"));
+    }
+
+    #[test]
+    fn replay_work_summarizes_counters() {
+        let text = render_replay_work("SEVE @ 8 clients", 4, 20, 3, 2);
+        assert!(text.contains("SEVE @ 8 clients"));
+        assert!(text.contains("4 rebuilds replayed 20 log entries"));
+        assert!(text.contains("5.00 per rebuild"));
+        assert!(text.contains("3 resumed from a checkpoint"));
+        assert!(text.contains("2 commute splices"));
+        let idle = render_replay_work("x", 0, 0, 0, 0);
+        assert!(idle.contains("0.00 per rebuild"), "no div-by-zero");
     }
 
     #[test]

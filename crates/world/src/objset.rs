@@ -280,6 +280,14 @@ impl FromIterator<ObjectId> for ObjectSet {
     }
 }
 
+impl Extend<ObjectId> for ObjectSet {
+    fn extend<I: IntoIterator<Item = ObjectId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
 impl fmt::Debug for ObjectSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_set().entries(self.ids.iter()).finish()

@@ -80,6 +80,14 @@ impl WriteLog {
         self.writes.iter().map(|&(o, _, _)| o).collect()
     }
 
+    /// Insert every written object into `set` (allocation-free dirty-set
+    /// accumulation, used by the replay log's checkpoint tracking).
+    pub fn add_touched_to(&self, set: &mut ObjectSet) {
+        for &(o, _, _) in &self.writes {
+            set.insert(o);
+        }
+    }
+
     /// Mix the log into a digest. Two logs with the same writes in the same
     /// order digest equal — this is the result value `v` that the client
     /// protocol compares between optimistic and stable evaluations.
@@ -135,6 +143,25 @@ impl Snapshot {
     #[inline]
     pub fn push(&mut self, id: ObjectId, object: WorldObject) {
         self.objects.push((id, object));
+    }
+
+    /// Insert or replace `id`'s captured value. Unlike [`Snapshot::push`]
+    /// this keeps at most one entry per object — the upsert the replay log
+    /// uses when folding a spliced item's writes into a checkpoint delta.
+    pub fn put(&mut self, id: ObjectId, object: WorldObject) {
+        match self.objects.iter_mut().find(|(i, _)| *i == id) {
+            Some(slot) => slot.1 = object,
+            None => self.objects.push((id, object)),
+        }
+    }
+
+    /// Mutable access to `id`'s captured value, if present — used by the
+    /// replay log to overwrite single attributes of a checkpoint delta.
+    pub fn get_mut(&mut self, id: ObjectId) -> Option<&mut WorldObject> {
+        self.objects
+            .iter_mut()
+            .find(|(i, _)| *i == id)
+            .map(|(_, o)| o)
     }
 
     /// Number of objects captured.

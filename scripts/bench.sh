@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Perf harness for the push/closure hot paths.
 #
-# Runs the criterion routing benches (push_cycle + closure_micro) and then
-# the bench_push binary, which times indexed vs linear candidate selection,
-# Algorithm 6 closures, and a fixed Manhattan People sweep, writing the
-# medians to BENCH_push.json at the repo root. See EXPERIMENTS.md.
+# Runs the criterion routing benches (push_cycle + closure_micro +
+# replay_micro) and then the bench_push and bench_replay binaries: indexed
+# vs linear candidate selection, Algorithm 6 closures, a fixed Manhattan
+# People sweep, and out-of-order replay reconciliation, writing the medians
+# to BENCH_push.json / BENCH_replay.json at the repo root. See EXPERIMENTS.md.
 #
 # Usage: scripts/bench.sh [--smoke]
-#   --smoke   seconds-scale subset, writes to a temp file instead of
-#             overwriting the checked-in BENCH_push.json
+#   --smoke   seconds-scale subset, writes to temp files instead of
+#             overwriting the checked-in BENCH_*.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,6 +31,25 @@ for r in rows:
         f"index visited {r['entries_visited']} of {r['queue_len']} entries"
 print("closure_indexed ok:", rows)
 EOF
+    echo "== bench_replay --smoke =="
+    cargo run --release -p seve-bench --bin bench_replay -- \
+        --smoke --out target/BENCH_replay.smoke.json
+    echo "== replay-checkpoint smoke check =="
+    # bench_replay asserts indexed == oracle results and digests in-process;
+    # here we additionally require that the checkpoint chain and commute
+    # gate did strictly less replay work than the full-rebuild oracle.
+    python3 - <<'EOF'
+import json
+rows = json.load(open("target/BENCH_replay.smoke.json"))["replay_storm"]
+assert rows, "replay_storm table is empty"
+for r in rows:
+    assert r["entries_replayed"] < r["entries_replayed_linear"], \
+        f"checkpointed log replayed {r['entries_replayed']} of " \
+        f"{r['entries_replayed_linear']} oracle entries"
+    assert r["commute_hits"] > 0, "storm exercised no commute splices"
+    assert r["checkpoint_hits"] > 0, "storm exercised no checkpoint resumes"
+print("replay_storm ok:", rows)
+EOF
     exit 0
 fi
 
@@ -39,5 +59,11 @@ cargo bench -p seve-bench --bench push_cycle
 echo "== criterion: closure_micro =="
 cargo bench -p seve-bench --bench closure_micro
 
+echo "== criterion: replay_micro =="
+cargo bench -p seve-bench --bench replay_micro
+
 echo "== bench_push -> BENCH_push.json =="
 cargo run --release -p seve-bench --bin bench_push -- --out BENCH_push.json
+
+echo "== bench_replay -> BENCH_replay.json =="
+cargo run --release -p seve-bench --bin bench_replay -- --out BENCH_replay.json
