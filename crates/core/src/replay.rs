@@ -445,11 +445,15 @@ impl<A: Action> ReplayLog<A> {
     ///   inserted writes no later entry overwrites (attribute-granular
     ///   against later actions, object-granular against blind snapshots).
     ///
-    /// The chain is never truncated: boundaries past `key` stay valid once
-    /// the first one absorbs the inserted writes that survive to it —
-    /// later boundaries inherit them by delta fold, and writes overwritten
-    /// inside the window were already re-asserted at the boundary by their
-    /// overwriter (via its dirty tracking or its own patch).
+    /// The chain is never truncated: every boundary past `key` absorbs the
+    /// inserted writes still live at it (live = first overwriter past the
+    /// boundary). Patching only the first boundary would not suffice —
+    /// a later delta may already hold the written object because its
+    /// window touched a *different* attribute, and since deltas fold as
+    /// whole-object snapshots its pre-insert capture would revert a
+    /// surviving write. Writes dead at a boundary need no patch there:
+    /// their overwriter re-asserted the attribute in that delta (via its
+    /// dirty tracking or its own patch).
     fn reconcile_sparse(
         &mut self,
         key: Key,
@@ -522,17 +526,18 @@ impl<A: Action> ReplayLog<A> {
         }
         let o = eval(key.0, action, &scratch, true);
 
-        // --- One suffix pass: which of the inserted writes survive to the
-        // tail, and which to the first checkpoint boundary past `key`? ---
+        // --- One suffix pass: where (if anywhere) is each inserted write
+        // first overwritten? A write is live at the tail iff it has no
+        // overwriter, and live at a checkpoint boundary `b` iff its first
+        // overwriter lies past `b` — so liveness is monotone non-increasing
+        // along the chain and the first-overwriter key decides it at every
+        // boundary at once. ---
         let writes: Vec<_> = o.writes.iter().collect();
         let touched = o.writes.touched_objects();
-        let bound = self.checkpoints.get(kept).map(|c| c.upto);
-        let mut live_tail = vec![true; writes.len()];
-        let mut live_bound = vec![true; writes.len()];
+        let mut first_kill: Vec<Option<Key>> = vec![None; writes.len()];
         for (k2, item) in self.items.range((Bound::Excluded(key), Bound::Unbounded)) {
-            let within = bound.is_some_and(|b| *k2 <= b);
-            if !within && live_tail.iter().all(|l| !*l) {
-                break; // everything shadowed; nothing left to decide
+            if first_kill.iter().all(|k| k.is_some()) {
+                break; // every write's first overwriter is known
             }
             match item {
                 LogItem::Action { action: e, outcome } => {
@@ -543,11 +548,8 @@ impl<A: Action> ReplayLog<A> {
                     let prev = outcome.as_ref().expect("indexed entries carry outcomes");
                     for (o2, a2, _) in prev.writes.iter() {
                         for (i, (wo, wa, _)) in writes.iter().enumerate() {
-                            if *wo == o2 && *wa == a2 {
-                                live_tail[i] = false;
-                                if within {
-                                    live_bound[i] = false;
-                                }
+                            if *wo == o2 && *wa == a2 && first_kill[i].is_none() {
+                                first_kill[i] = Some(*k2);
                             }
                         }
                     }
@@ -558,11 +560,8 @@ impl<A: Action> ReplayLog<A> {
                         continue;
                     }
                     for (i, (wo, _, _)) in writes.iter().enumerate() {
-                        if objs.contains(*wo) {
-                            live_tail[i] = false;
-                            if within {
-                                live_bound[i] = false;
-                            }
+                        if objs.contains(*wo) && first_kill[i].is_none() {
+                            first_kill[i] = Some(*k2);
                         }
                     }
                 }
@@ -572,28 +571,46 @@ impl<A: Action> ReplayLog<A> {
         // --- Apply the surviving writes at the tail. ---
         let mut filtered = WriteLog::new();
         for (i, (wo, wa, v)) in writes.iter().enumerate() {
-            if live_tail[i] {
+            if first_kill[i].is_none() {
                 filtered.push(*wo, *wa, *v);
             }
         }
         self.cache.apply_writes(&filtered);
 
-        // --- Keep the chain valid. ---
+        // --- Keep the chain valid: every checkpoint past `key` must
+        // reflect the inserted writes still live at its boundary. Deltas
+        // fold as whole-object snapshots, so a later delta that captured
+        // the object before this insert (its window touched a *different*
+        // attribute) would otherwise revert a surviving write on any
+        // materialization from it. The first boundary may need whole
+        // objects added (no in-window toucher ⇒ the boundary value is the
+        // at-`key` object); later deltas only ever take attribute patches,
+        // and only when they already hold the object — otherwise they
+        // inherit the patched value from an earlier delta by the fold. ---
         scratch.apply_writes(&o.writes); // at-`key` values incl. the new writes
         if kept < self.checkpoints.len() {
-            let delta = &mut self.checkpoints[kept].delta;
-            for (i, (wo, wa, v)) in writes.iter().enumerate() {
-                if !live_bound[i] {
-                    continue; // re-asserted by its in-window overwriter
+            for (ci, c) in self.checkpoints[kept..].iter_mut().enumerate() {
+                let mut any_live = false;
+                for (i, (wo, wa, v)) in writes.iter().enumerate() {
+                    if first_kill[i].is_some_and(|k| k <= c.upto) {
+                        continue; // re-asserted at this boundary by its overwriter
+                    }
+                    any_live = true;
+                    match c.delta.get_mut(*wo) {
+                        // The delta holds the object (another attribute was
+                        // written in its window, or an earlier patch put it
+                        // there); only this attribute takes the inserted
+                        // value.
+                        Some(obj) => obj.set(*wa, *v),
+                        None if ci == 0 => c
+                            .delta
+                            .put(*wo, scratch.get(*wo).cloned().expect("written object")),
+                        // Inherited from the patched earlier delta.
+                        None => {}
+                    }
                 }
-                match delta.get_mut(*wo) {
-                    // Another attribute of `wo` was written inside the
-                    // window, so the delta already holds the object; only
-                    // this attribute takes the inserted value.
-                    Some(obj) => obj.set(*wa, *v),
-                    // No in-window toucher at all: the boundary value is
-                    // the at-`key` object.
-                    None => delta.put(*wo, scratch.get(*wo).cloned().expect("written object")),
+                if !any_live {
+                    break; // dead here ⇒ dead at every later boundary
                 }
             }
             if self.materialized.as_ref().is_some_and(|(n, _)| kept < *n) {
@@ -1144,6 +1161,47 @@ mod tests {
         oracle.insert_action(4, AddAction::on_attr(4, X, w, 40), ev);
         fill(&mut oracle, 7..=7);
         oracle.insert_action(6, AddAction::new(6, 100), ev);
+        assert_eq!(log.state().digest(), oracle.state().digest());
+        assert_eq!(log.divergences(), 0);
+    }
+
+    #[test]
+    fn sparse_insert_patches_every_later_checkpoint() {
+        // Regression: a checkpoint *past the first boundary* whose delta
+        // already holds the written object (because its window touched a
+        // different attribute) must also absorb a surviving write — deltas
+        // fold as whole-object snapshots, so its pre-insert capture would
+        // otherwise revert the write when a later reconciliation
+        // materializes from that checkpoint.
+        let w = AttrId(1);
+        let mut log = ReplayLog::new(initial());
+        log.set_checkpoint_interval(2);
+        fill(&mut log, 1..=1);
+        fill(&mut log, 3..=5);
+        assert_eq!(log.checkpoints_len(), 2, "boundaries at 3 and 5");
+        // Straggler 2 writes X.W: the first boundary (3) takes the
+        // whole-object patch; the boundary at 5, whose delta holds X from
+        // the X.V writes at 4 and 5, must take the attribute patch too.
+        log.insert_action(2, AddAction::on_attr(2, X, w, 40), ev);
+        fill(&mut log, 7..=7);
+        // Straggler 6 reads/writes X.W, materializing X from the
+        // checkpoint at 5.
+        let r6 = log.insert_action(6, AddAction::on_attr(6, X, w, 2), ev);
+
+        let mut oracle = ReplayLog::new(initial());
+        oracle.set_checkpoint_interval(0);
+        fill(&mut oracle, 1..=1);
+        fill(&mut oracle, 3..=5);
+        oracle.insert_action(2, AddAction::on_attr(2, X, w, 40), ev);
+        fill(&mut oracle, 7..=7);
+        let o6 = oracle.insert_action(6, AddAction::on_attr(6, X, w, 2), ev);
+
+        assert_eq!(r6, o6, "straggler 6 must read X.W = 40 at its position");
+        assert_eq!(
+            log.state().attr(X, w).and_then(|v| v.as_i64()),
+            Some(42),
+            "both X.W writes survive to the tail"
+        );
         assert_eq!(log.state().digest(), oracle.state().digest());
         assert_eq!(log.divergences(), 0);
     }

@@ -17,12 +17,16 @@ use seve_world::state::{Snapshot, WorldState, WriteLog};
 use seve_world::value::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// A synthetic action over small object ids with an explicit center.
+/// A synthetic action over small object ids with an explicit center. Each
+/// action reads and writes one of a few attributes, so interleavings
+/// exercise cross-attribute shadowing: attribute-granular sparse masking
+/// against object-granular checkpoint deltas and blind snapshots.
 #[derive(Clone, Debug)]
 struct GenAction {
     id: ActionId,
     rs: ObjectSet,
     ws: ObjectSet,
+    attr: AttrId,
     center: Vec2,
 }
 
@@ -46,11 +50,11 @@ impl Action for GenAction {
         let sum: i64 = self
             .rs
             .iter()
-            .filter_map(|o| state.attr(o, AttrId(0)).and_then(|v| v.as_i64()))
+            .filter_map(|o| state.attr(o, self.attr).and_then(|v| v.as_i64()))
             .sum();
         let mut w = WriteLog::new();
         for o in self.ws.iter() {
-            w.push(o, AttrId(0), (sum + 1).into());
+            w.push(o, self.attr, (sum + 1).into());
         }
         Outcome::ok(w)
     }
@@ -59,15 +63,22 @@ impl Action for GenAction {
     }
 }
 
-/// Strategy: an action with reads ⊇ writes over object ids < 8, placed on
-/// a line so distances are easy to reason about.
+/// Attributes the generated actions pick from (> 1 so same-object,
+/// different-attribute interleavings occur; the declared read/write sets
+/// stay object-granular, as in the protocol).
+const GEN_ATTRS: u16 = 3;
+
+/// Strategy: an action with reads ⊇ writes over object ids < 8, on one of
+/// [`GEN_ATTRS`] attributes, placed on a line so distances are easy to
+/// reason about.
 fn gen_action(client: u16, seq: u32) -> impl Strategy<Value = GenAction> {
     (
         prop::collection::btree_set(0u32..8, 1..4),
         prop::collection::btree_set(0u32..8, 0..2),
+        0u16..GEN_ATTRS,
         0.0f64..200.0,
     )
-        .prop_map(move |(reads, extra_writes, x)| {
+        .prop_map(move |(reads, extra_writes, attr, x)| {
             let ws: ObjectSet = reads
                 .iter()
                 .take(1)
@@ -79,6 +90,7 @@ fn gen_action(client: u16, seq: u32) -> impl Strategy<Value = GenAction> {
                 id: ActionId::new(ClientId(client), seq),
                 rs,
                 ws,
+                attr: AttrId(attr),
                 center: Vec2::new(x, 0.0),
             }
         })
@@ -141,7 +153,11 @@ fn naive_closure(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+    // 512 cases keep the whole file under a second while giving the
+    // replay-oracle equivalence tests enough interleavings to reliably hit
+    // same-object cross-attribute shadowing across checkpoint windows (at
+    // 128 the known stale-later-checkpoint regression goes undetected).
+    #![proptest_config(ProptestConfig::with_cases(512))]
 
     #[test]
     fn closure_matches_reference(
@@ -352,7 +368,9 @@ proptest! {
         // Reference: apply actions 1..=n in position order to a fresh state.
         let mut reference = WorldState::new();
         for o in 0..8u32 {
-            reference.set_attr(ObjectId(o), AttrId(0), 0i64.into());
+            for a in 0..GEN_ATTRS {
+                reference.set_attr(ObjectId(o), AttrId(a), 0i64.into());
+            }
         }
         let initial = reference.clone();
         for a in &actions {
@@ -388,7 +406,9 @@ proptest! {
     ) {
         let mut initial = WorldState::new();
         for o in 0..8u32 {
-            initial.set_attr(ObjectId(o), AttrId(0), 0i64.into());
+            for a in 0..GEN_ATTRS {
+                initial.set_attr(ObjectId(o), AttrId(a), 0i64.into());
+            }
         }
         let ev = |_p: QueuePos, a: &GenAction, s: &WorldState, _f: bool| a.evaluate(&(), s);
         let mut log: ReplayLog<GenAction> = ReplayLog::new(initial.clone());
@@ -450,7 +470,9 @@ proptest! {
     ) {
         let mut initial = WorldState::new();
         for o in 0..8u32 {
-            initial.set_attr(ObjectId(o), AttrId(0), 0i64.into());
+            for a in 0..GEN_ATTRS {
+                initial.set_attr(ObjectId(o), AttrId(a), 0i64.into());
+            }
         }
         let ev = |_p: QueuePos, a: &GenAction, s: &WorldState, _f: bool| a.evaluate(&(), s);
         let mut log: ReplayLog<GenAction> = ReplayLog::new(initial.clone());
