@@ -283,6 +283,10 @@ impl<W: GameWorld> ClientNode<W> for LockingClient<W> {
         &self.state
     }
 
+    fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
     fn submit(&mut self, now: SimTime, action: W::Action, out: &mut Vec<Self::Up>) -> u64 {
         debug_assert_eq!(action.id().seq, self.next_seq);
         self.next_seq += 1;

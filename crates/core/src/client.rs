@@ -228,6 +228,10 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
         self.replay.state()
     }
 
+    fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
     fn submit(&mut self, now: SimTime, action: W::Action, out: &mut Vec<Self::Up>) -> u64 {
         debug_assert_eq!(action.issuer(), self.id);
         debug_assert_eq!(action.id().seq, self.next_seq);

@@ -53,6 +53,13 @@ pub trait ClientNode<W: GameWorld>: Send {
 
     /// Read access to the metrics sink.
     fn metrics(&self) -> &ClientMetrics;
+
+    /// How many submitted actions are still awaiting their stable outcome.
+    /// Drivers use this to decide when a client has fully drained; engines
+    /// without a pending queue report zero (already drained).
+    fn pending_len(&self) -> usize {
+        0
+    }
 }
 
 /// A server-side protocol engine.

@@ -54,6 +54,7 @@ use crate::engine::ServerNode;
 use crate::metrics::{ServerMetrics, StageMetrics};
 use crate::msg::{ToClient, ToServer};
 use seve_net::time::{SimDuration, SimTime};
+use seve_world::action::Action;
 use seve_world::ids::ClientId;
 use seve_world::state::WorldState;
 use seve_world::GameWorld;
@@ -155,6 +156,14 @@ impl<W: GameWorld> ServerNode<W> for PipelineServer<W> {
     ) -> u64 {
         match msg {
             ToServer::Submit { action } => {
+                // At-least-once transports can redeliver a submission; the
+                // first copy already holds its queue position, so a second
+                // admit would serialize the same action twice.
+                if !self.state.admitted.insert(action.id()) {
+                    let cost = self.state.cfg.msg_cost_us;
+                    self.state.metrics.compute_us += cost;
+                    return cost;
+                }
                 let t = Instant::now();
                 self.routing.before_enqueue(&mut self.state, from, &action);
                 let pos = ingress::admit(&mut self.state, now, action);

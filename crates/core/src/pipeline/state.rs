@@ -11,10 +11,10 @@
 use crate::closure::ActionQueue;
 use crate::config::ProtocolConfig;
 use crate::metrics::ServerMetrics;
-use seve_world::ids::{ObjectId, QueuePos};
+use seve_world::ids::{ActionId, ObjectId, QueuePos};
 use seve_world::state::WorldState;
 use seve_world::GameWorld;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Shared state of the staged server pipeline.
@@ -40,6 +40,10 @@ pub struct PipelineState<W: GameWorld> {
     /// whose value for an object the client is known to hold. Lets egress
     /// skip blind writes for values the client already has.
     pub(crate) client_known: Vec<HashMap<ObjectId, QueuePos>>,
+    /// Every action id ever admitted. Serialization assigns one queue
+    /// position per action, so a submission redelivered by an
+    /// at-least-once transport must be ignored, not enqueued again.
+    pub(crate) admitted: HashSet<ActionId>,
 }
 
 impl<W: GameWorld> PipelineState<W> {
@@ -54,6 +58,7 @@ impl<W: GameWorld> PipelineState<W> {
             last_gc_sent: 0,
             committed_version: HashMap::new(),
             client_known: vec![HashMap::new(); n],
+            admitted: HashSet::new(),
             world,
             cfg,
         }

@@ -1,0 +1,482 @@
+//! Seeded fault injection for any backend.
+//!
+//! The paper's tolerance claims (Section III-C: redundant completion
+//! messages, client crash recovery) and the replay log's out-of-order
+//! reconciliation only mean something if loss, duplication, reordering, and
+//! delay are exercised in the *real drive loops*, not hand-pumped engine
+//! tests. This module provides one seeded [`FaultPolicy`] with two
+//! realizations:
+//!
+//! * [`FaultyLink`] — wraps a simulator [`Link`]: verdicts perturb the
+//!   arrival times the harness schedules (drop = no arrival, duplicate =
+//!   second transmission, delay = arrival jitter, reorder = an arrival
+//!   shift past subsequently sent traffic).
+//! * [`FaultyClientTransport`] — decorates any [`ClientTransport`] (TCP,
+//!   in-process): drop and duplicate act per message; reorder and delay are
+//!   realized as a holdback-swap — the victim waits until the next message
+//!   on the lane passes it, and is flushed at session end so a held tail
+//!   message is never silently lost.
+//!
+//! Verdicts are pure hashes of `(seed, lane, message index)` — no shared
+//! RNG stream — so a policy with all rates at zero is *exactly* the
+//! identity: same calls, same order, same results, bit for bit. Client
+//! crashes are not a message fault; they are driven by
+//! [`FaultPlan::crashes`] and enforced by the node drivers (the client
+//! stops mid-workload without a goodbye).
+
+use crate::transport::{ClientEvent, ClientTransport};
+use seve_net::link::Link;
+use seve_net::time::{SimDuration, SimTime};
+use seve_world::ids::ClientId;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Seeded, per-message fault rates for one direction of traffic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPolicy {
+    /// Verdict seed; two lanes with the same seed and stream id fault the
+    /// same message indices.
+    pub seed: u64,
+    /// Probability a message is lost after transmission.
+    pub drop: f64,
+    /// Probability a message is transmitted twice.
+    pub duplicate: f64,
+    /// Probability a message is reordered past later traffic.
+    pub reorder: f64,
+    /// Probability a message is delayed.
+    pub delay: f64,
+    /// Maximum extra latency a delayed message suffers (sim substrate).
+    pub max_delay: SimDuration,
+    /// Arrival shift applied to reordered messages on the sim substrate —
+    /// anything sent on the lane within this window overtakes the victim.
+    pub reorder_shift: SimDuration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA_017,
+            drop: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay: 0.0,
+            max_delay: SimDuration::from_ms(200),
+            reorder_shift: SimDuration::from_ms(150),
+        }
+    }
+}
+
+/// splitmix64: a well-mixed 64-bit permutation, good enough to turn
+/// (seed, lane, index) into independent verdicts.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const SALT_DROP: u64 = 1;
+const SALT_DUP: u64 = 2;
+const SALT_REORDER: u64 = 3;
+const SALT_DELAY: u64 = 4;
+const SALT_JITTER: u64 = 5;
+
+impl FaultPolicy {
+    /// A policy that never faults (the identity decorator).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Does this policy ever fault anything?
+    pub fn is_none(&self) -> bool {
+        self.drop == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0 && self.delay == 0.0
+    }
+
+    /// A uniform draw in `[0, 1)` for message `index` on lane `stream`.
+    fn unit(&self, salt: u64, stream: u64, index: u64) -> f64 {
+        let h = splitmix64(
+            self.seed
+                ^ salt.wrapping_mul(0xA24B_AED4_963E_E407)
+                ^ stream.wrapping_mul(0x9FB2_1C65_1E98_DF25)
+                ^ splitmix64(index),
+        );
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Is message `index` on `stream` dropped?
+    pub fn drops(&self, stream: u64, index: u64) -> bool {
+        self.drop > 0.0 && self.unit(SALT_DROP, stream, index) < self.drop
+    }
+
+    /// Is message `index` on `stream` duplicated?
+    pub fn duplicates(&self, stream: u64, index: u64) -> bool {
+        self.duplicate > 0.0 && self.unit(SALT_DUP, stream, index) < self.duplicate
+    }
+
+    /// Is message `index` on `stream` reordered?
+    pub fn reorders(&self, stream: u64, index: u64) -> bool {
+        self.reorder > 0.0 && self.unit(SALT_REORDER, stream, index) < self.reorder
+    }
+
+    /// Is message `index` on `stream` delayed?
+    pub fn delays(&self, stream: u64, index: u64) -> bool {
+        self.delay > 0.0 && self.unit(SALT_DELAY, stream, index) < self.delay
+    }
+
+    /// Extra latency for a delayed message: `(0, max_delay]`, deterministic
+    /// per (seed, stream, index).
+    pub fn jitter(&self, stream: u64, index: u64) -> SimDuration {
+        let span = self.max_delay.as_micros().max(1);
+        let f = self.unit(SALT_JITTER, stream, index);
+        SimDuration::from_micros(((span as f64 * f) as u64).max(1))
+    }
+}
+
+/// A full fault scenario for one session: per-direction message faults plus
+/// client crashes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Faults on client → server traffic.
+    pub up: FaultPolicy,
+    /// Faults on server → client traffic.
+    pub down: FaultPolicy,
+    /// Clients that crash: `(client, k)` disconnects the client abruptly
+    /// after its `k`-th submission — no drain, no goodbye.
+    pub crashes: Vec<(ClientId, u32)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Does this plan inject anything at all?
+    pub fn is_none(&self) -> bool {
+        self.up.is_none() && self.down.is_none() && self.crashes.is_empty()
+    }
+
+    /// The crash point for `client`, if scheduled.
+    pub fn crash_for(&self, client: ClientId) -> Option<u32> {
+        self.crashes
+            .iter()
+            .find(|(c, _)| *c == client)
+            .map(|&(_, k)| k)
+    }
+
+    /// The up-lane stream id for client `i` (shared convention across
+    /// backends so the same plan faults the same messages).
+    pub fn up_stream(i: usize) -> u64 {
+        2 * i as u64
+    }
+
+    /// The down-lane stream id for client `i`.
+    pub fn down_stream(i: usize) -> u64 {
+        2 * i as u64 + 1
+    }
+}
+
+/// A simulator [`Link`] with fault-perturbed arrivals.
+///
+/// `send` yields the delivery times the harness should schedule: usually
+/// one, zero for a dropped message, two for a duplicated one. The no-fault
+/// path is a single pass-through `Link::send` — identical scheduling, bit
+/// for bit.
+#[derive(Debug)]
+pub struct FaultyLink {
+    link: Link,
+    policy: FaultPolicy,
+    stream: u64,
+    index: u64,
+}
+
+impl FaultyLink {
+    /// Wrap `link` with `policy` on lane `stream`.
+    pub fn new(link: Link, policy: FaultPolicy, stream: u64) -> Self {
+        Self {
+            link,
+            policy,
+            stream,
+            index: 0,
+        }
+    }
+
+    /// The wrapped link (byte/message counters).
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Transmit `bytes` at `now`; `arrivals` receives the delivery times
+    /// (cleared first). Dropped messages are still transmitted — they
+    /// consume bandwidth and count on the link — but never arrive.
+    pub fn send(&mut self, now: SimTime, bytes: u32, arrivals: &mut Vec<SimTime>) {
+        arrivals.clear();
+        let i = self.index;
+        self.index += 1;
+        if self.policy.is_none() {
+            arrivals.push(self.link.send(now, bytes));
+            return;
+        }
+        let mut at = self.link.send(now, bytes);
+        if self.policy.delays(self.stream, i) {
+            at += self.policy.jitter(self.stream, i);
+        }
+        if self.policy.reorders(self.stream, i) {
+            // Anything sent on this lane within the shift window overtakes
+            // the victim — an arrival-order inversion, the sim-substrate
+            // realization of reordering.
+            at += self.policy.reorder_shift;
+        }
+        if !self.policy.drops(self.stream, i) {
+            arrivals.push(at);
+        }
+        if self.policy.duplicates(self.stream, i) {
+            arrivals.push(self.link.send(now, bytes));
+        }
+    }
+}
+
+/// One direction of threaded-transport faulting: drop / duplicate act per
+/// message, reorder / delay hold the victim back until the next message on
+/// the lane passes it (an adjacent swap). `flush` releases a held message
+/// at session boundaries so nothing is silently lost.
+#[derive(Debug)]
+struct Lane<M> {
+    policy: FaultPolicy,
+    stream: u64,
+    index: u64,
+    held: Option<M>,
+}
+
+impl<M: Clone> Lane<M> {
+    fn new(policy: FaultPolicy, stream: u64) -> Self {
+        Self {
+            policy,
+            stream,
+            index: 0,
+            held: None,
+        }
+    }
+
+    /// Admit one message; `out` receives what actually passes, in order.
+    fn admit(&mut self, msg: M, out: &mut Vec<M>) {
+        let i = self.index;
+        self.index += 1;
+        if self.policy.is_none() {
+            out.push(msg);
+            return;
+        }
+        if self.policy.drops(self.stream, i) {
+            return;
+        }
+        let hold = self.policy.reorders(self.stream, i) || self.policy.delays(self.stream, i);
+        if hold && self.held.is_none() {
+            self.held = Some(msg);
+            return;
+        }
+        let dup = self.policy.duplicates(self.stream, i);
+        if dup {
+            out.push(msg.clone());
+        }
+        out.push(msg);
+        // The swap: a later message has now passed the held victim.
+        if let Some(h) = self.held.take() {
+            out.push(h);
+        }
+    }
+
+    fn flush(&mut self, out: &mut Vec<M>) {
+        if let Some(h) = self.held.take() {
+            out.push(h);
+        }
+    }
+}
+
+/// Fault decorator over any [`ClientTransport`]: the up lane perturbs
+/// `send`/`finish`, the down lane perturbs `recv`. With both policies at
+/// zero it is the identity.
+#[derive(Debug)]
+pub struct FaultyClientTransport<T, U, D> {
+    inner: T,
+    up: Lane<U>,
+    down: Lane<D>,
+    ready: VecDeque<ClientEvent<D>>,
+    scratch_up: Vec<U>,
+    scratch_down: Vec<D>,
+}
+
+impl<T, U: Clone, D: Clone> FaultyClientTransport<T, U, D> {
+    /// Decorate `inner` for client index `i` under `plan`.
+    pub fn new(inner: T, plan: &FaultPlan, i: usize) -> Self {
+        Self {
+            inner,
+            up: Lane::new(plan.up.clone(), FaultPlan::up_stream(i)),
+            down: Lane::new(plan.down.clone(), FaultPlan::down_stream(i)),
+            ready: VecDeque::new(),
+            scratch_up: Vec::new(),
+            scratch_down: Vec::new(),
+        }
+    }
+}
+
+impl<T, U, D> ClientTransport<U, D> for FaultyClientTransport<T, U, D>
+where
+    T: ClientTransport<U, D>,
+    U: Clone,
+    D: Clone,
+{
+    type Error = T::Error;
+
+    fn recv(&mut self, timeout: Duration) -> Result<ClientEvent<D>, Self::Error> {
+        if let Some(e) = self.ready.pop_front() {
+            return Ok(e);
+        }
+        match self.inner.recv(timeout)? {
+            ClientEvent::Msg(d) => {
+                self.scratch_down.clear();
+                self.down.admit(d, &mut self.scratch_down);
+                for m in self.scratch_down.drain(..) {
+                    self.ready.push_back(ClientEvent::Msg(m));
+                }
+                // A dropped or held message yields nothing this round; the
+                // driver treats it exactly like a quiet timeout.
+                Ok(self.ready.pop_front().unwrap_or(ClientEvent::Timeout))
+            }
+            terminal @ (ClientEvent::Stop | ClientEvent::Closed) => {
+                // Session boundary: release a held message before the end
+                // marker so a held tail item is reordered, not lost.
+                self.scratch_down.clear();
+                self.down.flush(&mut self.scratch_down);
+                for m in self.scratch_down.drain(..) {
+                    self.ready.push_back(ClientEvent::Msg(m));
+                }
+                self.ready.push_back(terminal);
+                Ok(self.ready.pop_front().expect("just pushed terminal"))
+            }
+            ClientEvent::Timeout => Ok(ClientEvent::Timeout),
+        }
+    }
+
+    fn send(&mut self, msg: U) -> Result<u64, Self::Error> {
+        self.scratch_up.clear();
+        self.up.admit(msg, &mut self.scratch_up);
+        let mut bytes = 0u64;
+        for m in std::mem::take(&mut self.scratch_up) {
+            bytes += self.inner.send(m)?;
+        }
+        Ok(bytes)
+    }
+
+    fn finish(&mut self) -> Result<u64, Self::Error> {
+        self.scratch_up.clear();
+        self.up.flush(&mut self.scratch_up);
+        let mut bytes = 0u64;
+        for m in std::mem::take(&mut self.scratch_up) {
+            bytes += self.inner.send(m)?;
+        }
+        Ok(bytes + self.inner.finish()?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_are_deterministic_and_rate_shaped() {
+        let p = FaultPolicy {
+            drop: 0.2,
+            ..FaultPolicy::default()
+        };
+        let n = 10_000u64;
+        let dropped = (0..n).filter(|&i| p.drops(3, i)).count();
+        let again = (0..n).filter(|&i| p.drops(3, i)).count();
+        assert_eq!(dropped, again, "verdicts are pure functions");
+        let rate = dropped as f64 / n as f64;
+        assert!((0.17..0.23).contains(&rate), "observed drop rate {rate}");
+        // Distinct streams fault distinct indices.
+        let other = (0..n).filter(|&i| p.drops(4, i)).count();
+        assert!(other > 0);
+        assert_ne!(
+            (0..64).map(|i| p.drops(3, i)).collect::<Vec<_>>(),
+            (0..64).map(|i| p.drops(4, i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn no_fault_policy_is_identity_on_links() {
+        let mk = || Link::new(SimDuration::from_ms(10), Some(100_000));
+        let mut plain = mk();
+        let mut faulty = FaultyLink::new(mk(), FaultPolicy::none(), 0);
+        let mut arrivals = Vec::new();
+        for k in 0..20u64 {
+            let now = SimTime::from_ms(k * 3);
+            let want = plain.send(now, 100);
+            faulty.send(now, 100, &mut arrivals);
+            assert_eq!(arrivals.as_slice(), &[want]);
+        }
+        assert_eq!(plain.bytes_sent(), faulty.link().bytes_sent());
+        assert_eq!(plain.msgs_sent(), faulty.link().msgs_sent());
+    }
+
+    #[test]
+    fn dropped_messages_never_arrive_but_count_on_the_wire() {
+        let policy = FaultPolicy {
+            drop: 1.0,
+            ..FaultPolicy::default()
+        };
+        let mut l = FaultyLink::new(Link::new(SimDuration::from_ms(5), None), policy, 0);
+        let mut arrivals = Vec::new();
+        l.send(SimTime::ZERO, 64, &mut arrivals);
+        assert!(arrivals.is_empty());
+        assert_eq!(l.link().msgs_sent(), 1);
+        assert_eq!(l.link().bytes_sent(), 64);
+    }
+
+    #[test]
+    fn duplicates_arrive_twice() {
+        let policy = FaultPolicy {
+            duplicate: 1.0,
+            ..FaultPolicy::default()
+        };
+        let mut l = FaultyLink::new(Link::new(SimDuration::from_ms(5), None), policy, 0);
+        let mut arrivals = Vec::new();
+        l.send(SimTime::ZERO, 64, &mut arrivals);
+        assert_eq!(arrivals.len(), 2);
+        assert_eq!(l.link().msgs_sent(), 2, "the copy is transmitted too");
+    }
+
+    #[test]
+    fn lane_holdback_swaps_adjacent_messages_and_flushes() {
+        let policy = FaultPolicy {
+            reorder: 1.0,
+            ..FaultPolicy::default()
+        };
+        // reorder=1.0: msg 0 is held; msg 1 wants holding too but a victim
+        // is already held, so it passes and releases msg 0 behind it.
+        let mut lane = Lane::new(policy, 0);
+        let mut out = Vec::new();
+        lane.admit(0u32, &mut out);
+        assert!(out.is_empty(), "victim held");
+        lane.admit(1u32, &mut out);
+        assert_eq!(out, vec![1, 0], "adjacent swap");
+        out.clear();
+        lane.admit(2u32, &mut out);
+        assert!(out.is_empty(), "next victim held");
+        lane.flush(&mut out);
+        assert_eq!(out, vec![2], "flush releases the tail victim");
+    }
+
+    #[test]
+    fn crash_plan_lookup() {
+        let plan = FaultPlan {
+            crashes: vec![(ClientId(2), 5)],
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.crash_for(ClientId(2)), Some(5));
+        assert_eq!(plan.crash_for(ClientId(0)), None);
+        assert!(!plan.is_none());
+        assert!(FaultPlan::none().is_none());
+        assert_ne!(FaultPlan::up_stream(3), FaultPlan::down_stream(3));
+    }
+}

@@ -1,0 +1,214 @@
+//! Cadence state machines: the tick (τ), push (ω·RTT), and move-period
+//! timers every node runs, factored out of the per-backend loops.
+//!
+//! Two catch-up disciplines exist in the wild and both are preserved here:
+//!
+//! * **Nominal** — the simulator's semantics: the next firing stays on the
+//!   nominal grid (`next += period`), scheduled at `max(nominal, now)`, and
+//!   the cycle ends past a hard horizon. A saturated server replays missed
+//!   cycles back-to-back, which is exactly how compute saturation shows up
+//!   as response-time collapse in the virtual testbed.
+//! * **Clamp** — the wall-clock semantics: after firing, the next deadline
+//!   is `now + period`. A real server that was descheduled (laptop lid,
+//!   debugger, noisy neighbour) must *not* fire a burst of make-up ticks
+//!   when it wakes; it resumes the cadence from the present.
+
+use seve_net::time::{SimDuration, SimTime};
+
+/// Anything with a next firing deadline; the driver loops compute their
+/// sleep from the earliest deadline across a node's timers.
+pub trait Timer {
+    /// When this timer next fires, or `None` when its cycle is over.
+    fn next_deadline(&self) -> Option<SimTime>;
+
+    /// Is the timer due at `now`?
+    fn due(&self, now: SimTime) -> bool {
+        self.next_deadline().is_some_and(|t| now >= t)
+    }
+}
+
+/// How a periodic timer reschedules after firing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CatchUp {
+    /// Stay on the nominal grid; end past `hard_end` (simulator semantics).
+    Nominal {
+        /// No firing is scheduled past this instant.
+        hard_end: SimTime,
+    },
+    /// Resume from the present: next = now + period (wall-clock semantics).
+    Clamp,
+}
+
+/// The server tick/push cycle timer.
+#[derive(Clone, Debug)]
+pub struct PeriodicTimer {
+    period: SimDuration,
+    /// Under `Nominal`, the nominal grid point of the *last scheduled*
+    /// firing; under `Clamp`, the actual next deadline.
+    next: SimTime,
+    policy: CatchUp,
+    live: bool,
+}
+
+impl PeriodicTimer {
+    /// A nominal-grid timer whose first firing is at `first` and whose last
+    /// is the final grid point `<= hard_end`.
+    pub fn nominal(first: SimTime, period: SimDuration, hard_end: SimTime) -> Self {
+        Self {
+            period,
+            next: first,
+            policy: CatchUp::Nominal { hard_end },
+            live: first <= hard_end,
+        }
+    }
+
+    /// A clamped timer first firing one period from `now`.
+    pub fn clamped(now: SimTime, period: SimDuration) -> Self {
+        Self {
+            period,
+            next: now + period,
+            policy: CatchUp::Clamp,
+            live: true,
+        }
+    }
+
+    /// The firing period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Record a firing at `now` and compute the next deadline. Returns the
+    /// instant the next firing should be scheduled at (for event-queue
+    /// backends), or `None` when the cycle is over.
+    pub fn advance(&mut self, now: SimTime) -> Option<SimTime> {
+        match self.policy {
+            CatchUp::Nominal { hard_end } => {
+                self.next += self.period;
+                if self.next <= hard_end {
+                    Some(self.next.max(now))
+                } else {
+                    self.live = false;
+                    None
+                }
+            }
+            CatchUp::Clamp => {
+                // A stalled node resumes the cadence from the present
+                // instead of replaying every missed cycle.
+                self.next = now + self.period;
+                Some(self.next)
+            }
+        }
+    }
+}
+
+impl Timer for PeriodicTimer {
+    fn next_deadline(&self) -> Option<SimTime> {
+        self.live.then_some(self.next)
+    }
+}
+
+/// The client move-period timer: a fixed quota of moves, one per period,
+/// staying on the nominal grid (a stalled client catches up its quota; the
+/// total submission count is part of the workload's definition).
+#[derive(Clone, Debug)]
+pub struct MoveTimer {
+    period: SimDuration,
+    next: SimTime,
+    remaining: u32,
+    total: u32,
+}
+
+impl MoveTimer {
+    /// A timer firing `moves` times, first at `first`, then every `period`.
+    pub fn new(first: SimTime, period: SimDuration, moves: u32) -> Self {
+        Self {
+            period,
+            next: first,
+            remaining: moves,
+            total: moves,
+        }
+    }
+
+    /// Moves not yet fired.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// Moves already fired.
+    pub fn fired(&self) -> u32 {
+        self.total - self.remaining
+    }
+
+    /// Consume one firing at `now`; returns the instant of the next one,
+    /// if the quota is not exhausted.
+    pub fn advance(&mut self, now: SimTime) -> Option<SimTime> {
+        debug_assert!(self.remaining > 0, "advanced an exhausted move timer");
+        self.remaining -= 1;
+        if self.remaining > 0 {
+            self.next += self.period;
+            Some(self.next.max(now))
+        } else {
+            None
+        }
+    }
+}
+
+impl Timer for MoveTimer {
+    fn next_deadline(&self) -> Option<SimTime> {
+        (self.remaining > 0).then_some(self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_stays_on_grid_and_ends() {
+        let mut t = PeriodicTimer::nominal(
+            SimTime::from_ms(50),
+            SimDuration::from_ms(50),
+            SimTime::from_ms(120),
+        );
+        assert_eq!(t.next_deadline(), Some(SimTime::from_ms(50)));
+        assert!(t.due(SimTime::from_ms(50)));
+        // Fire late at 130ms: next nominal grid point is 100ms, scheduled
+        // at max(nominal, now) = 130ms — the simulator's catch-up burst.
+        assert_eq!(
+            t.advance(SimTime::from_ms(130)),
+            Some(SimTime::from_ms(130))
+        );
+        // Next grid point 150 > hard_end 120: cycle over.
+        assert_eq!(t.advance(SimTime::from_ms(130)), None);
+        assert_eq!(t.next_deadline(), None);
+        assert!(!t.due(SimTime::from_ms(500)));
+    }
+
+    #[test]
+    fn clamp_resumes_from_the_present() {
+        let mut t = PeriodicTimer::clamped(SimTime::ZERO, SimDuration::from_ms(10));
+        assert_eq!(t.next_deadline(), Some(SimTime::from_ms(10)));
+        // Stall to 95ms: a nominal timer would owe 9 firings; clamp fires
+        // once and resumes at now + period.
+        assert_eq!(t.advance(SimTime::from_ms(95)), Some(SimTime::from_ms(105)));
+        assert!(!t.due(SimTime::from_ms(104)));
+        assert!(t.due(SimTime::from_ms(105)));
+    }
+
+    #[test]
+    fn move_timer_quota_and_grid() {
+        let mut t = MoveTimer::new(SimTime::from_ms(7), SimDuration::from_ms(300), 3);
+        assert_eq!(t.remaining(), 3);
+        assert_eq!(t.next_deadline(), Some(SimTime::from_ms(7)));
+        assert_eq!(t.advance(SimTime::from_ms(7)), Some(SimTime::from_ms(307)));
+        // Fired late: nominal grid 607, but never scheduled in the past.
+        assert_eq!(
+            t.advance(SimTime::from_ms(700)),
+            Some(SimTime::from_ms(700))
+        );
+        assert_eq!(t.fired(), 2);
+        assert_eq!(t.advance(SimTime::from_ms(700)), None);
+        assert_eq!(t.remaining(), 0);
+        assert_eq!(t.next_deadline(), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Transport traits: how a driven node exchanges protocol messages.
+//!
+//! The [`crate::node::NodeDriver`] loops are written against these traits
+//! only; the substrate underneath — framed TCP sockets (`seve-rt`),
+//! in-process channels ([`crate::inproc`]), or anything else — is
+//! interchangeable. The simulator does not implement them (its transport is
+//! the event queue itself, see [`crate::sim`]), but the fault decorator
+//! ([`crate::fault::FaultyClientTransport`]) wraps any implementation.
+
+use seve_world::ids::ClientId;
+use std::time::Duration;
+
+/// One observation from the server's side of the transport.
+#[derive(Debug)]
+pub enum ServerEvent<U> {
+    /// A protocol message arrived from a client.
+    Msg(ClientId, U),
+    /// One client finished (orderly goodbye or lost connection).
+    Done,
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// The transport is gone; no further events will arrive.
+    Closed,
+}
+
+/// One observation from a client's side of the transport.
+#[derive(Debug)]
+pub enum ClientEvent<D> {
+    /// A protocol message arrived from the server.
+    Msg(D),
+    /// The server ended the session.
+    Stop,
+    /// Nothing arrived within the timeout.
+    Timeout,
+    /// The transport is gone; no further events will arrive.
+    Closed,
+}
+
+/// The server's view of the network: a merged inbound stream from every
+/// client, and per-client outbound delivery.
+pub trait ServerTransport<U, D> {
+    /// Transport-level failure (I/O, codec). Lost *peers* are not errors —
+    /// they surface as [`ServerEvent::Done`].
+    type Error: std::fmt::Debug;
+
+    /// Wait up to `timeout` for the next inbound event.
+    fn recv(&mut self, timeout: Duration) -> Result<ServerEvent<U>, Self::Error>;
+
+    /// Deliver one engine step's outbound batch, preserving per-client
+    /// FIFO order (the ordering contract the replay log depends on).
+    /// Returns the bytes written.
+    fn send_batch(&mut self, out: &[(ClientId, D)]) -> Result<u64, Self::Error>;
+
+    /// End the session: tell every client to stop.
+    fn stop_all(&mut self) -> Result<(), Self::Error>;
+}
+
+/// A client's view of the network: one duplex lane to the server.
+pub trait ClientTransport<U, D> {
+    /// Transport-level failure (I/O, codec).
+    type Error: std::fmt::Debug;
+
+    /// Wait up to `timeout` for the next inbound event.
+    fn recv(&mut self, timeout: Duration) -> Result<ClientEvent<D>, Self::Error>;
+
+    /// Send one message to the server; returns the bytes written.
+    fn send(&mut self, msg: U) -> Result<u64, Self::Error>;
+
+    /// Announce the orderly end of this client's workload (the goodbye
+    /// frame); returns the bytes written. A client that crashes never
+    /// calls this — the transport signals the loss on drop/close instead.
+    fn finish(&mut self) -> Result<u64, Self::Error>;
+}

@@ -9,6 +9,7 @@
 //! workload, and prints its response-time summary. World parameters must
 //! match the server's.
 
+use seve_driver::report::render_replay_work;
 use seve_rt::cli::{build_protocol, build_world, parse_common};
 use seve_rt::run_client;
 use seve_world::ids::ClientId;
@@ -66,6 +67,17 @@ fn main() {
                 report.metrics.submitted, report.metrics.dropped, report.metrics.reconciliations
             );
             println!("  stable digest {:x}", report.stable_digest);
+            let w = report.replay_work();
+            eprint!(
+                "{}",
+                render_replay_work(
+                    &format!("client {id}"),
+                    w.rebuilds,
+                    w.entries_replayed,
+                    w.checkpoint_hits,
+                    w.commute_hits,
+                )
+            );
         }
         Err(e) => {
             eprintln!("client failed: {e}");

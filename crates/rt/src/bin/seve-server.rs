@@ -12,6 +12,7 @@
 use seve_core::engine::ProtocolSuite;
 use seve_core::pipeline::PipelineServer;
 use seve_core::server::SeveSuite;
+use seve_driver::report::render_stage_profile;
 use seve_rt::cli::{build_protocol, build_world, parse_common};
 use seve_rt::run_server;
 use seve_world::worlds::manhattan::ManhattanWorld;
@@ -53,6 +54,7 @@ fn main() {
         opts.walls
     );
 
+    let mode_name = cfg.mode.name();
     let suite = SeveSuite::new(cfg);
     let digest = {
         use seve_world::GameWorld;
@@ -67,6 +69,15 @@ fn main() {
             println!("  dropped     : {}", report.metrics.drops);
             println!("  bytes out   : {}", report.bytes_out);
             println!("  zeta_s      : {:?}", report.committed_digest);
+            // Wall-clock stage timings vary run to run; stderr keeps the
+            // stdout report stable.
+            eprint!(
+                "{}",
+                render_stage_profile(
+                    &format!("{mode_name} @ {} clients", opts.clients),
+                    report.stage()
+                )
+            );
         }
         Err(e) => {
             eprintln!("server failed: {e}");

@@ -1,38 +1,59 @@
 //! The threaded TCP client driver.
 //!
 //! Drives a [`SeveClient`] engine — the same one the simulator uses — over
-//! a real socket: a reader thread feeds incoming batches into a channel,
-//! while the main loop submits one workload action per move period and
-//! applies whatever arrives in between.
+//! a real socket. This module owns only the socket plumbing (connect +
+//! hello handshake, a reader thread feeding a channel, the framed writer),
+//! packaged as a [`TcpClientTransport`]; the move/drain/linger phases are
+//! the driver layer's [`NodeDriver::run_client`], shared with the
+//! in-process backend.
 
 use crate::frame::{write_msg, FrameError, FrameReader};
 use crate::server::{RtDown, RtUp};
-use crossbeam::channel::{self, RecvTimeoutError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use seve_core::client::SeveClient;
 use seve_core::config::ProtocolConfig;
-use seve_core::engine::ClientNode;
-use seve_core::metrics::ClientMetrics;
 use seve_core::msg::{ToClient, ToServer};
-use seve_net::time::SimTime;
+use seve_driver::{ClientEvent, ClientTransport, NodeDriver};
 use seve_world::ids::ClientId;
 use seve_world::worlds::Workload;
 use seve_world::GameWorld;
+use std::marker::PhantomData;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// What one client observed over a session.
-#[derive(Debug)]
-pub struct ClientReport {
-    /// Engine metrics, including the evaluation records for the
-    /// consistency oracle.
-    pub metrics: ClientMetrics,
-    /// Digest of the final stable state ζ_CS.
-    pub stable_digest: u64,
-    /// Bytes written to the server (frames, including headers).
-    pub bytes_out: u64,
+pub use seve_driver::ClientReport;
+
+/// A client's side of a framed-TCP session: the writer socket plus the
+/// channel the reader thread feeds. Implements [`ClientTransport`] so
+/// [`NodeDriver::run_client`] can drive any engine over it.
+pub struct TcpClientTransport<U, D> {
+    writer: TcpStream,
+    rx: Receiver<RtDown<D>>,
+    _up: PhantomData<U>,
+}
+
+impl<U: Serialize, D> ClientTransport<U, D> for TcpClientTransport<U, D> {
+    type Error = FrameError;
+
+    fn recv(&mut self, timeout: Duration) -> Result<ClientEvent<D>, FrameError> {
+        Ok(match self.rx.recv_timeout(timeout) {
+            Ok(RtDown::Msg(m)) => ClientEvent::Msg(m),
+            Ok(RtDown::Stop) => ClientEvent::Stop,
+            Err(RecvTimeoutError::Timeout) => ClientEvent::Timeout,
+            Err(RecvTimeoutError::Disconnected) => ClientEvent::Closed,
+        })
+    }
+
+    fn send(&mut self, msg: U) -> Result<u64, FrameError> {
+        Ok(write_msg(&mut self.writer, &RtUp::Msg(msg))? as u64)
+    }
+
+    fn finish(&mut self) -> Result<u64, FrameError> {
+        Ok(write_msg(&mut self.writer, &RtUp::<U>::Bye)? as u64)
+    }
 }
 
 /// Connect to `addr` as `id`, submit `moves` workload actions at `period`,
@@ -51,11 +72,11 @@ where
     W::Action: Serialize + DeserializeOwned,
 {
     let world_digest = world.initial_state().digest();
-    let mut engine: SeveClient<W> = SeveClient::new(id, world, cfg);
+    let engine: SeveClient<W> = SeveClient::new(id, world, cfg);
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
-    let mut bytes_out = write_msg(
+    let hello_bytes = write_msg(
         &mut writer,
         &RtUp::<ToServer<W::Action>>::Hello {
             client: id.0,
@@ -75,92 +96,18 @@ where
         }
     });
 
-    let epoch = Instant::now();
-    let now = |epoch: Instant| SimTime(epoch.elapsed().as_micros() as u64);
-    let mut out: Vec<ToServer<W::Action>> = Vec::new();
-    let mut submitted = 0u32;
-    let mut next_move = Instant::now();
+    let mut transport = TcpClientTransport {
+        writer,
+        rx,
+        _up: PhantomData,
+    };
+    let mut report =
+        NodeDriver::client(moves, period).run_client(engine, workload, &mut transport)?;
+    // The hello handshake happened before the driven session; fold its
+    // frame into the wire total.
+    report.bytes_out += hello_bytes;
 
-    // Phase 1: the workload. The move timer is checked explicitly before
-    // blocking on the channel, so a steady stream of inbound batches can
-    // never starve submissions.
-    while submitted < moves {
-        let now_i = Instant::now();
-        if now_i >= next_move {
-            let seq = engine.next_seq();
-            if let Some(action) =
-                workload.next_action(id, seq, engine.optimistic(), now(epoch).as_ms())
-            {
-                out.clear();
-                engine.submit(now(epoch), action, &mut out);
-                for m in out.drain(..) {
-                    bytes_out += write_msg(&mut writer, &RtUp::Msg(m))? as u64;
-                }
-            }
-            submitted += 1;
-            next_move += period;
-            continue;
-        }
-        let wait = next_move.saturating_duration_since(now_i);
-        match rx.recv_timeout(wait) {
-            Ok(RtDown::Msg(msg)) => {
-                out.clear();
-                engine.deliver(now(epoch), msg, &mut out);
-                for m in out.drain(..) {
-                    bytes_out += write_msg(&mut writer, &RtUp::Msg(m))? as u64;
-                }
-            }
-            Ok(RtDown::Stop) => break,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-
-    // Phase 2: drain until our pending queue empties (or we give up).
-    let drain_deadline = Instant::now() + period * 10 + Duration::from_secs(2);
-    while engine.pending_len() > 0 && Instant::now() < drain_deadline {
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(RtDown::Msg(msg)) => {
-                out.clear();
-                engine.deliver(now(epoch), msg, &mut out);
-                for m in out.drain(..) {
-                    bytes_out += write_msg(&mut writer, &RtUp::Msg(m))? as u64;
-                }
-            }
-            Ok(RtDown::Stop) => break,
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-
-    bytes_out += write_msg(&mut writer, &RtUp::<ToServer<W::Action>>::Bye)? as u64;
-
-    // Phase 3: keep applying serialized traffic until the server stops us —
-    // other clients may still need our completions.
-    loop {
-        match rx.recv_timeout(Duration::from_secs(10)) {
-            Ok(RtDown::Msg(msg)) => {
-                out.clear();
-                engine.deliver(now(epoch), msg, &mut out);
-                for m in out.drain(..) {
-                    // The server drops post-Bye messages from its count but
-                    // the socket is still open; keep the protocol honest.
-                    bytes_out += write_msg(&mut writer, &RtUp::Msg(m))? as u64;
-                }
-            }
-            Ok(RtDown::Stop) => break,
-            Err(RecvTimeoutError::Timeout) => break,
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-
-    let stable_digest = engine.stable().digest();
-    let metrics = std::mem::take(engine.metrics_mut());
-    drop(writer);
+    drop(transport);
     let _ = reader_handle.join();
-    Ok(ClientReport {
-        metrics,
-        stable_digest,
-        bytes_out,
-    })
+    Ok(report)
 }

@@ -15,6 +15,15 @@
 //! * [`client`] — a threaded client driving a [`seve_core::SeveClient`]
 //!   with a workload at a fixed move cadence.
 //!
+//! The engine loops themselves live in the driver layer (`seve-driver`):
+//! this crate contributes [`server::TcpServerTransport`] and
+//! [`client::TcpClientTransport`], the framed-socket implementations of
+//! the driver's transport traits, and thin entry points that wire them to
+//! [`seve_driver::NodeDriver`]. Reports are the driver's shared
+//! [`ServerReport`]/[`ClientReport`] types, so the pipeline stage profile
+//! and replay-work counters are available here exactly as in the
+//! simulator.
+//!
 //! The loopback integration test runs a full Manhattan People session over
 //! real sockets and checks the same Theorem 1 oracle the simulator uses.
 
@@ -27,5 +36,5 @@ pub mod frame;
 pub mod server;
 pub mod wire;
 
-pub use client::{run_client, ClientReport};
-pub use server::{fan_out, run_server, ServerReport};
+pub use client::{run_client, ClientReport, TcpClientTransport};
+pub use server::{fan_out, run_server, ServerReport, TcpServerTransport};

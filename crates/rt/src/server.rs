@@ -1,22 +1,27 @@
 //! The threaded TCP server host.
 //!
 //! Hosts any [`ServerNode`] engine — the exact state machines the
-//! simulator drives — over real sockets: one reader thread per client
-//! feeding a channel, a main loop interleaving message processing with the
-//! wall-clock tick (τ) and push (ω·RTT) timers, and framed writers back to
-//! the clients.
+//! simulator drives — over real sockets. The socket machinery lives here
+//! (accept + hello handshake, one reader thread per client feeding a
+//! channel, framed parallel fan-out back to the clients), packaged as a
+//! [`TcpServerTransport`]; the engine loop itself — wall-clock tick (τ)
+//! and push (ω·RTT) timers interleaved with message dispatch — is the
+//! driver layer's [`NodeDriver::run_server`], shared with the in-process
+//! backend.
 
 use crate::frame::{write_msg, FrameError, FrameReader};
-use crossbeam::channel::{self, RecvTimeoutError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use seve_core::engine::ServerNode;
-use seve_core::metrics::ServerMetrics;
-use seve_net::time::SimTime;
+use seve_driver::{NodeDriver, ServerEvent, ServerTransport};
 use seve_world::ids::ClientId;
 use seve_world::GameWorld;
+use std::marker::PhantomData;
 use std::net::{TcpListener, TcpStream};
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+pub use seve_driver::ServerReport;
 
 /// Client → server transport envelope.
 #[derive(Serialize, Deserialize, Debug)]
@@ -45,21 +50,45 @@ pub enum RtDown<M> {
     Stop,
 }
 
-/// What the server observed over the session.
-#[derive(Debug)]
-pub struct ServerReport {
-    /// Engine metrics.
-    pub metrics: ServerMetrics,
-    /// Digest of ζ_S at shutdown, if the engine keeps one.
-    pub committed_digest: Option<u64>,
-    /// Total bytes written to clients (frames, including headers).
-    pub bytes_out: u64,
-}
-
 enum Inbound<M> {
     Msg(ClientId, M),
     /// Orderly goodbye or lost connection; either ends the client's session.
     Done,
+}
+
+/// The server's side of a framed-TCP session: the merged inbound channel
+/// the reader threads feed, plus one writer socket per seated client.
+/// Implements [`ServerTransport`] so [`NodeDriver::run_server`] can drive
+/// any engine over it.
+pub struct TcpServerTransport<U, D> {
+    rx: Receiver<Inbound<U>>,
+    writers: Vec<Option<TcpStream>>,
+    _down: PhantomData<D>,
+}
+
+impl<U, D: Serialize + Clone + Sync> ServerTransport<U, D> for TcpServerTransport<U, D> {
+    type Error = FrameError;
+
+    fn recv(&mut self, timeout: Duration) -> Result<ServerEvent<U>, FrameError> {
+        Ok(match self.rx.recv_timeout(timeout) {
+            Ok(Inbound::Msg(from, m)) => ServerEvent::Msg(from, m),
+            Ok(Inbound::Done) => ServerEvent::Done,
+            Err(RecvTimeoutError::Timeout) => ServerEvent::Timeout,
+            Err(RecvTimeoutError::Disconnected) => ServerEvent::Closed,
+        })
+    }
+
+    fn send_batch(&mut self, out: &[(ClientId, D)]) -> Result<u64, FrameError> {
+        fan_out(&mut self.writers, out)
+    }
+
+    fn stop_all(&mut self) -> Result<(), FrameError> {
+        // Best effort: a client that already vanished is not an error.
+        for w in self.writers.iter_mut().flatten() {
+            let _ = write_msg(w, &RtDown::<D>::Stop);
+        }
+        Ok(())
+    }
 }
 
 /// Accept `n` clients on `listener` and run `engine` until every client
@@ -68,7 +97,7 @@ enum Inbound<M> {
 /// the initial world state; clients presenting a different digest are
 /// rejected (their replicas could never converge).
 pub fn run_server<W, S>(
-    mut engine: S,
+    engine: S,
     listener: TcpListener,
     n: usize,
     tick: Duration,
@@ -155,64 +184,21 @@ where
         }));
     }
 
-    let epoch = Instant::now();
-    let now = |epoch: Instant| SimTime(epoch.elapsed().as_micros() as u64);
-    let mut next_tick = Instant::now() + tick;
-    let pushes = engine.push_period().is_some();
-    let mut next_push = Instant::now() + push;
-    let mut done = 0usize;
-    let mut bytes_out = 0u64;
-    let mut out: Vec<(ClientId, S::Down)> = Vec::new();
+    let mut transport = TcpServerTransport {
+        rx,
+        writers,
+        _down: PhantomData,
+    };
+    let report = NodeDriver::server(tick, push).run_server(engine, &mut transport, n)?;
 
-    while done < n {
-        // Fire due timers.
-        let now_i = Instant::now();
-        if now_i >= next_tick {
-            out.clear();
-            engine.tick(now(epoch), &mut out);
-            bytes_out += fan_out(&mut writers, &out)?;
-            next_tick += tick;
-        }
-        if pushes && now_i >= next_push {
-            out.clear();
-            engine.push_tick(now(epoch), &mut out);
-            bytes_out += fan_out(&mut writers, &out)?;
-            next_push += push;
-        }
-        let deadline = if pushes {
-            next_tick.min(next_push)
-        } else {
-            next_tick
-        };
-        let wait = deadline.saturating_duration_since(Instant::now());
-        match rx.recv_timeout(wait) {
-            Ok(Inbound::Msg(from, msg)) => {
-                out.clear();
-                engine.deliver(now(epoch), from, msg, &mut out);
-                bytes_out += fan_out(&mut writers, &out)?;
-            }
-            Ok(Inbound::Done) => {
-                done += 1;
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-    }
-
-    // Session over: release the clients.
-    for w in writers.iter_mut().flatten() {
-        let _ = write_msg(w, &RtDown::<S::Down>::Stop);
-    }
-    drop(rx);
+    // Closing our channel end and the writer sockets unblocks the readers.
+    drop(transport);
+    drop(tx);
     for h in reader_handles {
         let _ = h.join();
     }
 
-    Ok(ServerReport {
-        metrics: engine.metrics().clone(),
-        committed_digest: engine.committed().map(|s| s.digest()),
-        bytes_out,
-    })
+    Ok(report)
 }
 
 /// Write one engine step's outbound batch to the client sockets, returning

@@ -14,6 +14,7 @@
 //! | [`net`] | `seve-net` | discrete-event kernel, links, statistics |
 //! | [`core`] | `seve-core` | the four action-protocol variants, closure & bound machinery |
 //! | [`baselines`] | `seve-baselines` | Central, Broadcast, RING, locking, timestamp ordering |
+//! | [`driver`] | `seve-driver` | the transport-agnostic node driver: clocks, timers, transports, fault injection, the sim and in-process backends |
 //! | [`sim`] | `seve-sim` | the EMULab-substitute harness and every paper experiment |
 //! | [`rt`] | `seve-rt` | the real-TCP runtime with its binary wire format |
 //!
@@ -46,6 +47,7 @@
 
 pub use seve_baselines as baselines;
 pub use seve_core as core;
+pub use seve_driver as driver;
 pub use seve_net as net;
 pub use seve_rt as rt;
 pub use seve_sim as sim;
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode};
     pub use seve_core::server::SeveSuite;
     pub use seve_core::SeveClient;
+    pub use seve_driver::{run_inproc_session, FaultPlan, FaultPolicy, NodeDriver, SessionConfig};
     pub use seve_net::stats::Summary;
     pub use seve_net::time::{SimDuration, SimTime};
     pub use seve_sim::{RunResult, SimConfig, Simulation};

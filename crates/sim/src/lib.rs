@@ -12,7 +12,9 @@
 //! * [`harness`] — the event loop wiring one server and N clients over
 //!   latency/bandwidth [`seve_net::link::Link`]s, driving workload move
 //!   timers, server ticks (τ) and push cycles (ω·RTT), and collecting every
-//!   metric the paper reports.
+//!   metric the paper reports. The loop itself lives in
+//!   [`seve_driver::sim`] (the discrete-event substrate of the unified
+//!   node driver); this crate re-exports it under the historical paths.
 //! * [`experiment`] — the parameter sets behind Table I and each figure.
 //! * [`report`] — plain-text table/series rendering for the `repro` binary.
 //!

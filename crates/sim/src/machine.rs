@@ -1,110 +1,4 @@
-//! The simulated machine: a single-core busy-time compute model.
-//!
-//! "Each EMULab machine was a Pentium III processor with 2 GB of RAM"
-//! (Section V-A.1). What matters to the protocols is not the absolute
-//! speed but that a machine processes one thing at a time: evaluating a
-//! move occupies the client for the move's cost, and a server evaluating
-//! every action (the Central baseline) saturates once the offered load
-//! exceeds its capacity — which is exactly the Figure 6 collapse.
-//!
-//! A [`Machine`] tracks `busy_until`: work submitted at `now` starts at
-//! `max(now, busy_until)` and completes after its cost. Events that find
-//! the machine busy are deferred to `busy_until` by the harness.
+//! A simulated machine (re-exported from the driver layer, which owns the
+//! compute model shared by every backend).
 
-use seve_net::time::{SimDuration, SimTime};
-
-/// A single simulated machine.
-#[derive(Clone, Debug, Default)]
-pub struct Machine {
-    busy_until: SimTime,
-    total_busy: SimDuration,
-    jobs: u64,
-}
-
-impl Machine {
-    /// An idle machine.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Is the machine busy at `now`?
-    #[inline]
-    pub fn is_busy(&self, now: SimTime) -> bool {
-        self.busy_until > now
-    }
-
-    /// When the machine becomes free.
-    #[inline]
-    pub fn free_at(&self) -> SimTime {
-        self.busy_until
-    }
-
-    /// Run a job of `cost_us` microseconds starting no earlier than `now`;
-    /// returns the completion time.
-    pub fn run(&mut self, now: SimTime, cost_us: u64) -> SimTime {
-        let start = now.max(self.busy_until);
-        let cost = SimDuration::from_micros(cost_us);
-        self.busy_until = start + cost;
-        self.total_busy += cost;
-        self.jobs += 1;
-        self.busy_until
-    }
-
-    /// Total compute performed.
-    #[inline]
-    pub fn total_busy(&self) -> SimDuration {
-        self.total_busy
-    }
-
-    /// Number of jobs run.
-    #[inline]
-    pub fn jobs(&self) -> u64 {
-        self.jobs
-    }
-
-    /// Utilization over a horizon: busy time / horizon.
-    pub fn utilization(&self, horizon: SimDuration) -> f64 {
-        if horizon.as_micros() == 0 {
-            return 0.0;
-        }
-        self.total_busy.as_micros() as f64 / horizon.as_micros() as f64
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn jobs_queue_behind_each_other() {
-        let mut m = Machine::new();
-        let t1 = m.run(SimTime::ZERO, 1_000);
-        assert_eq!(t1, SimTime::from_ms(1));
-        // Submitted while busy: starts at busy_until.
-        let t2 = m.run(SimTime::ZERO, 2_000);
-        assert_eq!(t2, SimTime::from_ms(3));
-        // Submitted after idle gap: starts at now.
-        let t3 = m.run(SimTime::from_ms(10), 500);
-        assert_eq!(t3.as_micros(), 10_500);
-        assert_eq!(m.jobs(), 3);
-        assert_eq!(m.total_busy().as_micros(), 3_500);
-    }
-
-    #[test]
-    fn busy_predicate() {
-        let mut m = Machine::new();
-        assert!(!m.is_busy(SimTime::ZERO));
-        m.run(SimTime::ZERO, 1_000);
-        assert!(m.is_busy(SimTime::from_ms(0)));
-        assert!(!m.is_busy(SimTime::from_ms(1)));
-        assert_eq!(m.free_at(), SimTime::from_ms(1));
-    }
-
-    #[test]
-    fn utilization() {
-        let mut m = Machine::new();
-        m.run(SimTime::ZERO, 250_000);
-        assert!((m.utilization(SimDuration::from_secs(1)) - 0.25).abs() < 1e-12);
-        assert_eq!(m.utilization(SimDuration::ZERO), 0.0);
-    }
-}
+pub use seve_driver::machine::Machine;

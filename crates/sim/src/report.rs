@@ -2,7 +2,6 @@
 //! tables, plus key/value tables (Table I) — the format the `repro`
 //! binary prints and `EXPERIMENTS.md` records.
 
-use seve_core::metrics::StageMetrics;
 use std::fmt::Write as _;
 
 /// One plotted line: a label and `(x, y)` points.
@@ -96,83 +95,10 @@ impl Figure {
     }
 }
 
-/// Render the wall-clock pipeline stage profile of one server run.
-///
-/// Stage timings measure the host implementation, not the simulated cost
-/// model, so they vary run to run; `repro` prints this block to stderr to
-/// keep the figure output on stdout byte-stable.
-pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "== pipeline stage profile — {label} ==");
-    let _ = writeln!(
-        out,
-        "  {:<9} {:>10} {:>12} {:>10}",
-        "stage", "events", "total ms", "mean µs"
-    );
-    for (name, p) in [
-        ("ingress", &stage.ingress),
-        ("serialize", &stage.serialize),
-        ("analyze", &stage.analyze),
-        ("route", &stage.route),
-        ("egress", &stage.egress),
-    ] {
-        let _ = writeln!(
-            out,
-            "  {:<9} {:>10} {:>12.3} {:>10.3}",
-            name,
-            p.events,
-            p.micros() / 1_000.0,
-            p.mean_us()
-        );
-    }
-    let _ = writeln!(
-        out,
-        "  egress emitted {} messages, {} wire bytes",
-        stage.egress_msgs, stage.egress_bytes
-    );
-    let _ = writeln!(
-        out,
-        "  closure index: {} entries visited ({} linear-equivalent)",
-        stage.closure_entries_visited, stage.closure_entries_linear
-    );
-    let _ = writeln!(
-        out,
-        "  analyze index: {} entries visited ({} linear-equivalent)",
-        stage.analyze_entries_visited, stage.analyze_entries_linear
-    );
-    out
-}
-
-/// Render the client-side replay-work counters of one run — the client
-/// counterpart of the server index lines in [`render_stage_profile`].
-/// `rebuilds` is the protocol-visible out-of-order reconciliation count
-/// (unchanged by the optimization); `entries_replayed` is the real work
-/// left after the checkpoint chain and the commutativity gate.
-pub fn render_replay_work(
-    label: &str,
-    rebuilds: u64,
-    entries_replayed: u64,
-    checkpoint_hits: u64,
-    commute_hits: u64,
-) -> String {
-    let mut out = String::new();
-    let _ = writeln!(out, "== client replay work — {label} ==");
-    let _ = writeln!(
-        out,
-        "  {rebuilds} rebuilds replayed {entries_replayed} log entries \
-         ({:.2} per rebuild)",
-        if rebuilds == 0 {
-            0.0
-        } else {
-            entries_replayed as f64 / rebuilds as f64
-        }
-    );
-    let _ = writeln!(
-        out,
-        "  {checkpoint_hits} resumed from a checkpoint, {commute_hits} commute splices (no replay)"
-    );
-    out
-}
+// The stage-profile and replay-work renderers moved to the driver layer
+// (they are printed by every backend's binaries, not just the simulator);
+// re-exported here so `seve_sim::report` callers keep working.
+pub use seve_driver::report::{render_replay_work, render_stage_profile};
 
 /// Render a key/value settings table (Table I style).
 pub fn render_settings(title: &str, rows: &[(&str, String)]) -> String {
@@ -218,35 +144,6 @@ mod tests {
         assert!(text.contains("20.00"));
         assert!(text.contains('-'), "missing sample rendered as a dash");
         assert!(text.contains("note: hello"));
-    }
-
-    #[test]
-    fn stage_profile_lists_every_stage() {
-        let mut stage = StageMetrics::default();
-        stage.ingress.record(2_000);
-        stage.egress.record(1_000);
-        stage.egress_msgs = 3;
-        stage.egress_bytes = 120;
-        let text = render_stage_profile("SEVE @ 8 clients", &stage);
-        for name in ["ingress", "serialize", "analyze", "route", "egress"] {
-            assert!(text.contains(name), "missing stage {name}");
-        }
-        assert!(text.contains("SEVE @ 8 clients"));
-        assert!(text.contains("3 messages, 120 wire bytes"));
-        assert!(text.contains("closure index"));
-        assert!(text.contains("analyze index"));
-    }
-
-    #[test]
-    fn replay_work_summarizes_counters() {
-        let text = render_replay_work("SEVE @ 8 clients", 4, 20, 3, 2);
-        assert!(text.contains("SEVE @ 8 clients"));
-        assert!(text.contains("4 rebuilds replayed 20 log entries"));
-        assert!(text.contains("5.00 per rebuild"));
-        assert!(text.contains("3 resumed from a checkpoint"));
-        assert!(text.contains("2 commute splices"));
-        let idle = render_replay_work("x", 0, 0, 0, 0);
-        assert!(idle.contains("0.00 per rebuild"), "no div-by-zero");
     }
 
     #[test]

@@ -10,6 +10,11 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== driver equivalence smoke =="
+# Same seed through the discrete-event simulator and the threaded
+# in-process backend must agree (bit-identical for one client).
+cargo test -q -p seve --release --test driver_equivalence
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
