@@ -15,9 +15,14 @@
 //! CI. Invoked by `scripts/bench.sh`.
 
 use seve_bench::push_fixture;
-use seve_core::closure::{closure_for, closure_for_linear, ActionQueue, ClientSet};
+use seve_core::closure::{
+    analyze_new_actions_batched, closure_for, closure_for_linear, ActionQueue, AnalyzeScratch,
+    ClientSet,
+};
 use seve_core::config::ServerMode;
+use seve_net::event::EventQueueKind;
 use seve_sim::experiment::{paper_protocol, paper_sim, paper_world, run_seve, Scale};
+use seve_sim::harness::SimConfig;
 use seve_world::ids::ClientId;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -63,6 +68,24 @@ struct SweepRow {
     clients: usize,
     wall_ms: f64,
     server_compute_us: u64,
+}
+
+struct AnalyzeRow {
+    clients: usize,
+    batch: usize,
+    seq_ns: u64,
+    par_ns: u64,
+    threads: usize,
+    components: usize,
+    max_batch: usize,
+}
+
+struct ScaleRow {
+    clients: usize,
+    wall_ms: f64,
+    submitted: u64,
+    dropped: u64,
+    analyze_parallel_ticks: u64,
 }
 
 fn main() {
@@ -112,12 +135,16 @@ fn main() {
     }
 
     // --- Algorithm 6 closure: indexed vs linear over a realistic queue. --
-    // One queued action per client: a push window covers at most a cycle's
-    // worth of submissions per client, so the un-pushed span a closure
-    // walks is a cross-section of the fleet, not one client's backlog.
+    // A fixed 64-avatar fleet with a growing un-pushed window: the queue
+    // length is the variable under test, the contention level is not.
+    // (Scaling the fleet *with* the window — the old fixture — thins each
+    // avatar's neighborhood as the world fills, so longer queues measured
+    // *less* conflict work and the table came out non-monotone.)
+    let closure_clients = if smoke { 16 } else { 64 };
+    let closure_warmup = 10;
     let mut closure_rows = Vec::new();
     for &len in closure_lens {
-        let fx = push_fixture::build(len, len, ServerMode::FirstBound);
+        let fx = push_fixture::build(closure_clients, len, ServerMode::FirstBound);
         let rebuild = || {
             let mut q = ActionQueue::new();
             for e in fx.st.queue.iter() {
@@ -133,19 +160,20 @@ fn main() {
             let mut q = rebuild();
             let mut samples = Vec::with_capacity(closure_iters);
             let mut result = None;
-            for i in 0..closure_iters + 2 {
+            for i in 0..closure_iters + closure_warmup {
                 for e in q.iter_mut_rev() {
                     e.sent = ClientSet::new();
                 }
+                std::hint::black_box(&mut q);
                 let t = Instant::now();
                 let r = if indexed {
-                    closure_for(&mut q, ClientId(0), &[last])
+                    closure_for(&mut q, ClientId(0), std::hint::black_box(&[last]))
                 } else {
-                    closure_for_linear(&mut q, ClientId(0), &[last])
+                    closure_for_linear(&mut q, ClientId(0), std::hint::black_box(&[last]))
                 };
                 let dt = t.elapsed().as_nanos() as u64;
-                if i >= 2 {
-                    samples.push(dt); // first two are warmup
+                if i >= closure_warmup {
+                    samples.push(dt);
                 }
                 result = Some(std::hint::black_box(r));
             }
@@ -174,6 +202,137 @@ fn main() {
         });
     }
 
+    // --- Parallel Algorithm 7 analysis: batched vs sequential. -----------
+    // A thousand-avatar tick on the clustered Manhattan world: every
+    // avatar has one new action queued, footprints cluster-local, so the
+    // tick partitions into many independent components. Worker-thread
+    // wall-clock is host-dependent (this table records it alongside the
+    // host's parallelism); the drop decisions and counters are asserted
+    // bit-identical in-process, every run.
+    let (par_sizes, par_iters): (&[usize], usize) = if smoke {
+        (&[256], 5)
+    } else {
+        (&[1024, 2048], 15)
+    };
+    let par_threads = 4usize;
+    let threshold = paper_protocol(ServerMode::InfoBound).threshold;
+    let mut analyze_rows = Vec::new();
+    for &clients in par_sizes {
+        let mut fx = push_fixture::build(clients, clients, ServerMode::InfoBound);
+        let from = fx.st.queue.first_pos();
+        let mut scratch = AnalyzeScratch::new();
+        let mut run = |threads: usize| {
+            let mut samples = Vec::with_capacity(par_iters);
+            let mut result = None;
+            for i in 0..par_iters + 2 {
+                for e in fx.st.queue.iter_mut_rev() {
+                    e.dropped = false;
+                }
+                let t = Instant::now();
+                let r = analyze_new_actions_batched(
+                    &mut fx.st.queue,
+                    from,
+                    threshold,
+                    threads,
+                    &mut scratch,
+                );
+                let dt = t.elapsed().as_nanos() as u64;
+                if i >= 2 {
+                    samples.push(dt);
+                }
+                result = Some(std::hint::black_box(r));
+            }
+            (median_ns(samples), result.unwrap())
+        };
+        let (seq_ns, rs) = run(1);
+        let (par_ns, rp) = run(par_threads);
+        // The parallel path must be bit-identical to the sequential oracle.
+        assert_eq!(rs.dropped, rp.dropped, "parallel analysis drop divergence");
+        assert_eq!(rs.scanned, rp.scanned, "linear-equivalent count drifted");
+        assert_eq!(rs.visited, rp.visited, "visited-entry count drifted");
+        assert_eq!(rs.chain_lens, rp.chain_lens, "chain-length divergence");
+        eprintln!(
+            "analyze clients={clients}: sequential {seq_ns} ns, {par_threads} threads {par_ns} ns \
+             ({:.2}x, {} components, max batch {})",
+            seq_ns as f64 / par_ns.max(1) as f64,
+            rp.components,
+            rp.max_batch
+        );
+        analyze_rows.push(AnalyzeRow {
+            clients,
+            batch: clients,
+            seq_ns,
+            par_ns,
+            threads: par_threads,
+            components: rp.components,
+            max_batch: rp.max_batch,
+        });
+    }
+
+    // --- Thousand-client sim sweep over the timer wheel. -----------------
+    // The O(1) event queue is what makes these affordable: the run is a
+    // full Information Bound session (submissions, pushes, drops, oracle),
+    // wall-clocked end to end. Analysis runs on the 4-thread batched path
+    // (a ~170-action tick clears the fan-out gate), so the sweep also
+    // proves the parallel analyzer inside a complete thousand-client
+    // session — the oracle cross-checks every evaluation.
+    let scale_sizes: &[usize] = if smoke { &[1024] } else { &[1024, 2048] };
+    let mut scale_rows = Vec::new();
+    for &clients in scale_sizes {
+        let world = paper_world(clients, Scale::Quick);
+        let sim = SimConfig {
+            moves_per_client: 10,
+            ..paper_sim(Scale::Quick)
+        };
+        let mut proto = paper_protocol(ServerMode::InfoBound);
+        proto.analyze_threads = Some(par_threads);
+        let t = Instant::now();
+        let r = run_seve(&world, ServerMode::InfoBound, proto, &sim);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.violations, 0, "Theorem 1 at {clients} clients");
+        eprintln!(
+            "sim-scale clients={clients}: {wall_ms:.0} ms wall, {} submitted, {} dropped, \
+             {} parallel analyze ticks",
+            r.submitted, r.dropped, r.server.stage.analyze_parallel_ticks
+        );
+        scale_rows.push(ScaleRow {
+            clients,
+            wall_ms,
+            submitted: r.submitted,
+            dropped: r.dropped,
+            analyze_parallel_ticks: r.server.stage.analyze_parallel_ticks,
+        });
+    }
+
+    // --- Timer wheel vs binary heap: identical event sequence. -----------
+    let event_queue_equiv = {
+        let world = paper_world(16, Scale::Quick);
+        let run = |kind: EventQueueKind| {
+            let sim = SimConfig {
+                moves_per_client: 10,
+                event_queue: kind,
+                ..paper_sim(Scale::Quick)
+            };
+            run_seve(
+                &world,
+                ServerMode::InfoBound,
+                paper_protocol(ServerMode::InfoBound),
+                &sim,
+            )
+        };
+        let wheel = run(EventQueueKind::Wheel);
+        let heap = run(EventQueueKind::Heap);
+        assert_eq!(
+            wheel.stable_digests, heap.stable_digests,
+            "wheel/heap replica divergence"
+        );
+        assert_eq!(wheel.committed_digest, heap.committed_digest);
+        assert_eq!(wheel.total_bytes, heap.total_bytes);
+        assert_eq!(wheel.duration, heap.duration);
+        eprintln!("event-queue equivalence: wheel == heap over a full run");
+        true
+    };
+
     // --- Fixed Manhattan People sweep (full simulated runs). -------------
     let sweep_clients = if smoke { 8 } else { 64 };
     let mut sweep_rows = Vec::new();
@@ -198,9 +357,10 @@ fn main() {
     // --- Emit JSON (no serializer dependency: the shape is flat). --------
     let mut j = String::new();
     j.push_str("{\n");
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |t| t.get());
     let _ = writeln!(
         j,
-        "  \"meta\": {{\"bench\": \"push\", \"smoke\": {smoke}, \"world\": \"manhattan_people\", \"selection_iters\": {sel_iters}}},"
+        "  \"meta\": {{\"bench\": \"push\", \"smoke\": {smoke}, \"world\": \"manhattan_people\", \"selection_iters\": {sel_iters}, \"host_parallelism\": {host_parallelism}, \"event_queue_equiv\": {event_queue_equiv}}},"
     );
     j.push_str("  \"push_cycle_select\": [\n");
     for (i, r) in select_rows.iter().enumerate() {
@@ -240,6 +400,33 @@ fn main() {
             r.linear_ns as f64 / r.indexed_ns.max(1) as f64,
             r.visited,
             r.scanned,
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"analyze_parallel\": [\n");
+    for (i, r) in analyze_rows.iter().enumerate() {
+        let sep = if i + 1 < analyze_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"clients\": {}, \"batch\": {}, \"seq_median_ns\": {}, \"par_median_ns\": {}, \"threads\": {}, \"speedup\": {:.3}, \"components\": {}, \"max_batch\": {}}}{sep}",
+            r.clients,
+            r.batch,
+            r.seq_ns,
+            r.par_ns,
+            r.threads,
+            r.seq_ns as f64 / r.par_ns.max(1) as f64,
+            r.components,
+            r.max_batch,
+        );
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"sim_scale\": [\n");
+    for (i, r) in scale_rows.iter().enumerate() {
+        let sep = if i + 1 < scale_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{\"clients\": {}, \"wall_ms\": {:.1}, \"submitted\": {}, \"dropped\": {}, \"analyze_parallel_ticks\": {}}}{sep}",
+            r.clients, r.wall_ms, r.submitted, r.dropped, r.analyze_parallel_ticks,
         );
     }
     j.push_str("  ],\n");

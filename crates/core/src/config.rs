@@ -101,6 +101,12 @@ pub struct ProtocolConfig {
     pub scan_cost_us_per_entry: f64,
     /// Server-side cost model: fixed microseconds per message handled.
     pub msg_cost_us: u64,
+    /// Worker threads for the per-tick Algorithm 7 analysis (footprint-
+    /// disjoint components run in parallel; protocol outcomes are
+    /// bit-identical regardless). `None` resolves at server construction:
+    /// the `SEVE_ANALYZE_THREADS` environment variable if set, otherwise
+    /// available parallelism. `Some(1)` forces the sequential path.
+    pub analyze_threads: Option<usize>,
 }
 
 impl Default for ProtocolConfig {
@@ -120,6 +126,7 @@ impl Default for ProtocolConfig {
             gc_every: 64,
             scan_cost_us_per_entry: 0.5,
             msg_cost_us: 15,
+            analyze_threads: None,
         }
     }
 }

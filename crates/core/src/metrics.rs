@@ -150,6 +150,18 @@ pub struct StageMetrics {
     pub analyze_entries_visited: u64,
     /// Linear-equivalent Algorithm 7 scan length.
     pub analyze_entries_linear: u64,
+    /// Resolved analyze-stage worker-thread budget (configuration echoed
+    /// into the profile so reports can print it).
+    pub analyze_threads: u64,
+    /// Footprint-disjoint components summed over parallel analyze ticks.
+    pub analyze_components: u64,
+    /// Ticks whose Algorithm 7 analysis ran on >1 worker.
+    pub analyze_parallel_ticks: u64,
+    /// Largest single component (batch) seen by the analyze stage.
+    pub analyze_max_batch: u64,
+    /// Summed wall-clock busy nanoseconds across analyze workers
+    /// (utilization = busy / (parallel-tick wall time × workers)).
+    pub analyze_worker_busy_nanos: u64,
 }
 
 /// Per-server metrics.
@@ -209,6 +221,10 @@ mod tests {
         assert_eq!(s.stage.egress_bytes, 0);
         assert_eq!(s.stage.closure_entries_visited, 0);
         assert_eq!(s.stage.analyze_entries_linear, 0);
+        assert_eq!(s.stage.analyze_components, 0);
+        assert_eq!(s.stage.analyze_parallel_ticks, 0);
+        assert_eq!(s.stage.analyze_max_batch, 0);
+        assert_eq!(s.stage.analyze_worker_busy_nanos, 0);
     }
 
     #[test]

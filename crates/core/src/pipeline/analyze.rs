@@ -16,13 +16,18 @@
 //! cost keeps charging the linear-equivalent scan length, so event timing
 //! is identical to the pre-index pipeline.
 
-use crate::closure::{analyze_new_actions, closure_for, ClosureResult};
+use crate::closure::{analyze_new_actions_batched, closure_for, ClosureResult};
 use crate::msg::ToClient;
 use crate::pipeline::{serialize, state::PipelineState};
 use seve_net::time::SimTime;
 use seve_world::ids::{ClientId, QueuePos};
 use seve_world::{Action, GameWorld};
 use std::time::Instant;
+
+/// Minimum new actions in a tick before the analysis fans out to worker
+/// threads (same gating idiom as the route stage's `PAR_MIN_PROBES`):
+/// below this, thread spawn overhead beats the win.
+const PAR_MIN_ACTIONS: usize = 64;
 
 /// Compute the transitive support (Algorithm 6) for `candidates` on behalf
 /// of `client`, marking the returned positions as sent. Stage-timed; also
@@ -105,11 +110,41 @@ impl<W: GameWorld> DropPolicy<W> for ChainBreak {
         _now: SimTime,
         out: &mut Vec<(ClientId, ToClient<W::Action>)>,
     ) -> u64 {
-        // Algorithm 7's onNextTick over actions submitted since last tick.
+        // Algorithm 7's onNextTick over actions submitted since last tick,
+        // batched by footprint-disjoint component onto worker threads when
+        // the tick is large enough to pay for the fan-out. Outcomes are
+        // bit-identical to the sequential oracle either way.
         let from = (self.analyzed_upto + 1).max(st.queue.first_pos());
-        let analysis = analyze_new_actions(&mut st.queue, from, st.cfg.threshold);
+        let batch = (st
+            .queue
+            .last_pos()
+            .map_or(0, |l| l + 1)
+            .saturating_sub(from)) as usize;
+        let threads = if batch >= PAR_MIN_ACTIONS {
+            st.analyze_threads
+        } else {
+            1
+        };
+        let PipelineState {
+            ref mut queue,
+            ref mut analyze_scratch,
+            ref cfg,
+            ..
+        } = *st;
+        let analysis =
+            analyze_new_actions_batched(queue, from, cfg.threshold, threads, analyze_scratch);
         st.metrics.stage.analyze_entries_visited += analysis.visited as u64;
         st.metrics.stage.analyze_entries_linear += analysis.scanned as u64;
+        if analysis.par_workers > 1 {
+            st.metrics.stage.analyze_parallel_ticks += 1;
+            st.metrics.stage.analyze_components += analysis.components as u64;
+            st.metrics.stage.analyze_worker_busy_nanos += analysis.worker_busy_nanos;
+            st.metrics.stage.analyze_max_batch = st
+                .metrics
+                .stage
+                .analyze_max_batch
+                .max(analysis.max_batch as u64);
+        }
         for &len in &analysis.chain_lens {
             st.metrics.chain_len.record(len as f64);
         }

@@ -128,7 +128,11 @@ impl SessionReport {
 /// keep figure output byte-stable.
 pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== pipeline stage profile — {label} ==");
+    let _ = writeln!(
+        out,
+        "== pipeline stage profile — {label} (analyze threads: {}) ==",
+        stage.analyze_threads.max(1)
+    );
     let _ = writeln!(
         out,
         "  {:<9} {:>10} {:>12} {:>10}",
@@ -165,6 +169,17 @@ pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
         "  analyze index: {} entries visited ({} linear-equivalent)",
         stage.analyze_entries_visited, stage.analyze_entries_linear
     );
+    if stage.analyze_parallel_ticks > 0 {
+        let _ = writeln!(
+            out,
+            "  analyze batching: {} parallel ticks, {:.1} components/tick, \
+             max batch {}, workers busy {:.3} ms",
+            stage.analyze_parallel_ticks,
+            stage.analyze_components as f64 / stage.analyze_parallel_ticks as f64,
+            stage.analyze_max_batch,
+            stage.analyze_worker_busy_nanos as f64 / 1e6,
+        );
+    }
     out
 }
 
@@ -215,9 +230,25 @@ mod tests {
             assert!(text.contains(name), "missing stage {name}");
         }
         assert!(text.contains("SEVE @ 8 clients"));
+        assert!(text.contains("analyze threads: 1"), "default budget shown");
         assert!(text.contains("3 messages, 120 wire bytes"));
         assert!(text.contains("closure index"));
         assert!(text.contains("analyze index"));
+        assert!(
+            !text.contains("analyze batching"),
+            "batching line only when parallel ticks ran"
+        );
+
+        stage.analyze_threads = 4;
+        stage.analyze_parallel_ticks = 2;
+        stage.analyze_components = 10;
+        stage.analyze_max_batch = 17;
+        stage.analyze_worker_busy_nanos = 4_000_000;
+        let text = render_stage_profile("SEVE @ 8 clients", &stage);
+        assert!(text.contains("analyze threads: 4"));
+        assert!(text.contains("2 parallel ticks, 5.0 components/tick"));
+        assert!(text.contains("max batch 17"));
+        assert!(text.contains("workers busy 4.000 ms"));
     }
 
     #[test]

@@ -27,7 +27,7 @@ use rand::{Rng, SeedableRng};
 use seve_core::consistency::ConsistencyOracle;
 use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode, WireSize};
 use seve_core::metrics::ServerMetrics;
-use seve_net::event::EventQueue;
+use seve_net::event::{EventQueue, EventQueueKind};
 use seve_net::link::Link;
 use seve_net::stats::Summary;
 use seve_net::time::{SimDuration, SimTime};
@@ -65,6 +65,12 @@ pub struct SimConfig {
     /// adversary of Section III-E ("if each of them tries to pick up the
     /// two forks at the same tick").
     pub stagger: bool,
+    /// Event-queue implementation driving the loop. The hierarchical timer
+    /// wheel is the default (O(1) schedule/pop keeps thousand-client runs
+    /// affordable); the binary heap is retained as the drain-order oracle.
+    /// Both pop the identical event sequence, so every digest and metric is
+    /// independent of the choice.
+    pub event_queue: EventQueueKind,
 }
 
 impl Default for SimConfig {
@@ -78,6 +84,7 @@ impl Default for SimConfig {
             drain: SimDuration::from_secs(5),
             seed: 0x51_4E5E,
             stagger: true,
+            event_queue: EventQueueKind::Wheel,
         }
     }
 }
@@ -225,7 +232,7 @@ impl<'a, W: GameWorld, P: ProtocolSuite<W>> Simulation<'a, W, P> {
         let (mut server, mut clients) = self.suite.build(Arc::clone(&self.world));
         assert_eq!(clients.len(), n);
 
-        let mut queue: EventQueue<Ev<P::Up, P::Down>> = EventQueue::new();
+        let mut queue: EventQueue<Ev<P::Up, P::Down>> = EventQueue::with_kind(cfg.event_queue);
         let mut client_mach = vec![Machine::new(); n];
         let mut server_mach = Machine::new();
         let mut up_links: Vec<FaultyLink> = (0..n)
@@ -726,6 +733,34 @@ mod tests {
         assert_eq!(a.total_bytes, b.total_bytes);
         assert_eq!(a.stable_digests, b.stable_digests);
         assert_eq!(a.committed_digest, b.committed_digest);
+    }
+
+    #[test]
+    fn heap_and_wheel_queues_drive_identical_runs() {
+        // The timer wheel must pop the exact event sequence the heap
+        // oracle does — same digests, same byte counts, same timings.
+        let world = Arc::new(DiningWorld::new(DiningConfig {
+            philosophers: 8,
+            ..DiningConfig::default()
+        }));
+        let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::InfoBound));
+        let run = |kind: EventQueueKind| {
+            let mut wl = DiningWorkload::new(&world);
+            let cfg = SimConfig {
+                moves_per_client: 8,
+                event_queue: kind,
+                ..SimConfig::default()
+            };
+            Simulation::new(Arc::clone(&world), &suite, cfg).run(&mut wl)
+        };
+        let wheel = run(EventQueueKind::Wheel);
+        let heap = run(EventQueueKind::Heap);
+        assert_eq!(wheel.response_ms.samples(), heap.response_ms.samples());
+        assert_eq!(wheel.total_bytes, heap.total_bytes);
+        assert_eq!(wheel.total_msgs, heap.total_msgs);
+        assert_eq!(wheel.stable_digests, heap.stable_digests);
+        assert_eq!(wheel.committed_digest, heap.committed_digest);
+        assert_eq!(wheel.duration, heap.duration);
     }
 
     #[test]

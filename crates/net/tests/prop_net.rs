@@ -1,7 +1,7 @@
 //! Property-based tests for the discrete-event kernel and network model.
 
 use proptest::prelude::*;
-use seve_net::event::EventQueue;
+use seve_net::event::{EventQueue, EventQueueKind};
 use seve_net::link::Link;
 use seve_net::stats::Summary;
 use seve_net::time::{SimDuration, SimTime};
@@ -22,6 +22,53 @@ proptest! {
             prop_assert!(w[0].0 <= w[1].0, "time order");
             if w[0].0 == w[1].0 {
                 prop_assert!(w[0].1 < w[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// The timer wheel and the binary-heap oracle must produce the exact
+    /// same pop sequence under arbitrary interleavings of scheduling and
+    /// popping, including same-instant ties, deltas spanning several wheel
+    /// levels, and jumps past the overflow horizon.
+    #[test]
+    fn wheel_matches_heap_under_interleaving(
+        ops in prop::collection::vec(
+            prop_oneof![
+                // Schedule `delta` past the current clock; deltas are
+                // log-distributed so every wheel level (and the overflow
+                // list) gets exercised.
+                (0u32..37).prop_flat_map(|bits| (0u64..(1u64 << bits) + 1).prop_map(Some)),
+                Just(None), // pop
+            ],
+            1..200,
+        )
+    ) {
+        let mut wheel = EventQueue::with_kind(EventQueueKind::Wheel);
+        let mut heap = EventQueue::with_kind(EventQueueKind::Heap);
+        let mut id = 0u32;
+        for op in ops {
+            match op {
+                Some(delta) => {
+                    let at = SimTime(wheel.now().as_micros() + delta);
+                    wheel.schedule(at, id);
+                    heap.schedule(at, id);
+                    id += 1;
+                }
+                None => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    prop_assert_eq!(wheel.pop(), heap.pop());
+                    prop_assert_eq!(wheel.now(), heap.now());
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain whatever is left: the tails must agree too.
+        loop {
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+            let (w, h) = (wheel.pop(), heap.pop());
+            prop_assert_eq!(w, h);
+            if w.is_none() {
+                break;
             }
         }
     }

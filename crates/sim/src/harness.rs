@@ -8,3 +8,7 @@
 //! and the golden-equivalence suite keep reading naturally.
 
 pub use seve_driver::sim::{AveragedResult, RunResult, SimConfig, Simulation};
+// The event-queue selector SimConfig now carries (timer wheel by default,
+// binary heap as the drain-order oracle), so experiment code can flip
+// backends without importing from the net crate.
+pub use seve_net::event::EventQueueKind;

@@ -15,11 +15,16 @@ echo "== driver equivalence smoke =="
 # in-process backend must agree (bit-identical for one client).
 cargo test -q -p seve --release --test driver_equivalence
 
+echo "== parallel-analyze equivalence smoke =="
+# A dense run on 4 analyze threads must be bit-identical (digests, drops,
+# byte counts) to the sequential path, and the timer wheel to the heap.
+cargo test -q -p seve --release --test parallel_analyze
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy =="
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== bench smoke =="
 cargo bench --workspace --no-run

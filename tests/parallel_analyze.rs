@@ -1,0 +1,96 @@
+//! The parallel analyze stage inside a complete session: a Manhattan
+//! People run dense enough that every tick's new-action batch clears the
+//! `PAR_MIN_ACTIONS` fan-out gate must produce bit-identical protocol
+//! outcomes on 4 worker threads and on the sequential path.
+//!
+//! This is the end-to-end counterpart of the `closure` unit tests and the
+//! `batched_analysis_matches_sequential` proptest: here the verdicts feed
+//! back into real pushes, drops, completions, and client replicas, so any
+//! divergence shows up in the digests.
+
+use seve::net::event::EventQueueKind;
+use seve::prelude::*;
+use std::sync::Arc;
+
+/// A fast-submitting 128-avatar world: one move per client per 60 ms
+/// against the 50 ms tick gives ~107 new actions per analysis — over the
+/// 64-action gate — and the clustered spawn keeps footprints overlapping
+/// within clusters while staying disjoint across them.
+fn dense_world() -> Arc<ManhattanWorld> {
+    Arc::new(ManhattanWorld::new(ManhattanConfig {
+        clients: 128,
+        walls: 0,
+        width: 400.0,
+        height: 400.0,
+        spawn: SpawnPattern::Clustered {
+            cluster_size: 6,
+            cluster_radius: 14.0,
+        },
+        ..ManhattanConfig::default()
+    }))
+}
+
+fn dense_run(world: &Arc<ManhattanWorld>, threads: usize, queue: EventQueueKind) -> RunResult {
+    let mut proto = ProtocolConfig::with_mode(ServerMode::InfoBound);
+    proto.analyze_threads = Some(threads);
+    let suite = SeveSuite::new(proto);
+    let sim = SimConfig {
+        moves_per_client: 15,
+        move_period: SimDuration::from_ms(60),
+        event_queue: queue,
+        ..SimConfig::default()
+    };
+    let mut wl = ManhattanWorkload::new(world);
+    Simulation::new(Arc::clone(world), &suite, sim).run(&mut wl)
+}
+
+#[test]
+fn four_thread_analysis_is_bit_identical_to_sequential() {
+    let world = dense_world();
+    let par = dense_run(&world, 4, EventQueueKind::Wheel);
+    let seq = dense_run(&world, 1, EventQueueKind::Wheel);
+
+    // The fan-out gate must actually have engaged — otherwise this test
+    // compares the sequential path with itself.
+    assert!(
+        par.server.stage.analyze_parallel_ticks > 0,
+        "no tick cleared the parallel gate; batch sizing regressed"
+    );
+    assert_eq!(seq.server.stage.analyze_parallel_ticks, 0);
+
+    // Protocol outcomes must be independent of the worker-thread budget.
+    assert_eq!(par.stable_digests, seq.stable_digests);
+    assert_eq!(par.committed_digest, seq.committed_digest);
+    assert_eq!(par.dropped, seq.dropped);
+    assert_eq!(par.submitted, seq.submitted);
+    assert_eq!(par.total_bytes, seq.total_bytes);
+    assert_eq!(par.response_ms.samples(), seq.response_ms.samples());
+    assert_eq!(par.duration, seq.duration);
+    assert_eq!(par.violations, 0, "Theorem 1 under parallel analysis");
+
+    // The host-side work counters are part of the contract too: the
+    // partition must not change what the walks visit or charge.
+    assert_eq!(
+        par.server.stage.analyze_entries_visited,
+        seq.server.stage.analyze_entries_visited
+    );
+    assert_eq!(
+        par.server.stage.analyze_entries_linear,
+        seq.server.stage.analyze_entries_linear
+    );
+}
+
+#[test]
+fn timer_wheel_and_heap_agree_under_parallel_analysis() {
+    // Both tentpole halves at once: the wheel-driven dense run must equal
+    // the heap-driven one event for event.
+    let world = dense_world();
+    let wheel = dense_run(&world, 4, EventQueueKind::Wheel);
+    let heap = dense_run(&world, 4, EventQueueKind::Heap);
+    assert!(wheel.server.stage.analyze_parallel_ticks > 0);
+    assert_eq!(wheel.stable_digests, heap.stable_digests);
+    assert_eq!(wheel.committed_digest, heap.committed_digest);
+    assert_eq!(wheel.total_bytes, heap.total_bytes);
+    assert_eq!(wheel.response_ms.samples(), heap.response_ms.samples());
+    assert_eq!(wheel.duration, heap.duration);
+}
