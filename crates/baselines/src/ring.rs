@@ -134,7 +134,14 @@ impl<W: GameWorld> ServerNode<W> for RingServer<W> {
             if !items.is_empty() {
                 self.base.metrics.batch_items.record(items.len() as f64);
                 cost += self.base.cfg.msg_cost_us + self.base.scan_cost(scanned);
-                out.push((client, ToClient::Batch { items }));
+                // Per-client visibility makes every batch its own frame.
+                self.base.metrics.stage.frames_encoded += 1;
+                out.push((
+                    client,
+                    ToClient::Batch {
+                        items: items.into(),
+                    },
+                ));
             }
         }
         self.base.metrics.compute_us += cost;

@@ -109,7 +109,7 @@ fn bench_closure(c: &mut Criterion) {
 fn clone_queue(src: &Queue) -> Queue {
     let mut q = ActionQueue::new();
     for e in src.iter() {
-        q.push(e.action.clone(), e.submit_time);
+        q.push((*e.action).clone(), e.submit_time);
     }
     q
 }

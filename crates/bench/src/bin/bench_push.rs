@@ -148,7 +148,7 @@ fn main() {
         let rebuild = || {
             let mut q = ActionQueue::new();
             for e in fx.st.queue.iter() {
-                q.push(e.action.clone(), e.submit_time);
+                q.push((*e.action).clone(), e.submit_time);
             }
             q
         };

@@ -262,8 +262,8 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
         match msg {
             ToClient::Batch { items } => {
                 self.metrics.batches += 1;
-                for item in items {
-                    match item.payload {
+                for item in items.iter() {
+                    match &item.payload {
                         Payload::Blind(snap) => {
                             if std::env::var("SEVE_DEBUG_C38").is_ok()
                                 && self.id.0 == 38
@@ -292,7 +292,7 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
                                 // Blinds the replay discarded as stale must
                                 // not regress ζ_CO either.
                                 self.zeta_co
-                                    .apply_snapshot_except(&snap, self.pending.ws_set());
+                                    .apply_snapshot_except(snap, self.pending.ws_set());
                             }
                         }
                         Payload::Action(action) => {
@@ -320,7 +320,7 @@ impl<W: GameWorld> ClientNode<W> for SeveClient<W> {
                             let id = action.id();
                             let world = &self.world;
                             let metrics = &mut self.metrics;
-                            let ins = self.replay.insert_action(item.pos, action, {
+                            let ins = self.replay.insert_action(item.pos, action.clone(), {
                                 let cost = &mut cost;
                                 move |p, a, s, f| {
                                     Self::eval_for_replay(world, metrics, cost, p, a, s, f)

@@ -26,6 +26,7 @@
 //! `dropped`-mark side effects, and still report the linear-equivalent
 //! `scanned` count so the simulated cost model is unchanged.
 
+use crate::msg::Shared;
 use seve_net::time::SimTime;
 use seve_world::action::{Action, Influence, Outcome};
 use seve_world::ids::{ClientId, ObjectId, QueuePos};
@@ -82,8 +83,9 @@ pub struct QueueEntry<A> {
     /// The serialization position `pos(a)`.
     pub pos: QueuePos,
     /// The action itself — the single stored copy of its read/write sets
-    /// (see [`QueueEntry::rs`] / [`QueueEntry::ws`]).
-    pub action: A,
+    /// (see [`QueueEntry::rs`] / [`QueueEntry::ws`]). Refcounted so egress
+    /// batch items share it instead of deep-copying per recipient.
+    pub action: Shared<A>,
     /// Cached influence, for the bound tests.
     pub influence: Influence,
     /// When the action was received by the server.
@@ -223,7 +225,7 @@ impl<A: Action> ActionQueue<A> {
         let influence = action.influence();
         self.entries.push_back(QueueEntry {
             pos,
-            action,
+            action: Shared::new(action),
             influence,
             submit_time: now,
             sent: ClientSet::new(),

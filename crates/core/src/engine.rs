@@ -20,6 +20,33 @@ pub trait WireSize {
     fn wire_bytes(&self) -> u32;
 }
 
+/// Identity of a shareable message payload, for encode-once fan-out.
+///
+/// Transports key their per-batch frame cache on this: the first message
+/// with a given id is encoded, later messages with the same id reuse the
+/// encoded frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ShareId {
+    /// Pointer identity of a refcounted payload. Stable for the lifetime
+    /// of the batch being sent (the batch holds the clones, so the
+    /// allocation cannot be freed and its address reused mid-send).
+    Ptr(usize),
+    /// A GC notice broadcast for this installed position.
+    Gc(u64),
+}
+
+/// Messages that may share one encoded frame across destinations.
+///
+/// Contract: any two messages in the *same outbound batch* that report the
+/// same `Some(id)` must encode to byte-identical wire frames. `None` means
+/// "encode individually" and is always sound (the default).
+pub trait ShareKey {
+    /// The message's sharing identity, if any.
+    fn share_key(&self) -> Option<ShareId> {
+        None
+    }
+}
+
 /// A client-side protocol engine.
 pub trait ClientNode<W: GameWorld>: Send {
     /// Message type sent to the server.

@@ -139,6 +139,22 @@ pub struct StageMetrics {
     pub egress_bytes: u64,
     /// Messages egress emitted.
     pub egress_msgs: u64,
+    /// Messages whose wire payload was built fresh — one per distinct
+    /// frame. Counted logically at the egress stage, so the split is
+    /// identical across {sim, inproc, tcp}; the TCP transport performs
+    /// exactly this many encodes.
+    pub frames_encoded: u64,
+    /// Messages that shared an already-built payload (encode-once
+    /// fan-out): span-cache hits and broadcast copies past the first.
+    /// `frames_encoded + frames_reused` = total messages emitted.
+    pub frames_reused: u64,
+    /// Encode buffers served from the transport's recycle pool. In steady
+    /// state this tracks the transport's encode count — the zero-allocation
+    /// claim the bench smoke check asserts.
+    pub pool_hits: u64,
+    /// Vectored-write batches the transport drained (syscall-level egress;
+    /// zero for simulated backends).
+    pub writev_batches: u64,
     /// Queue entries the index-driven Algorithm 6 traversals actually
     /// visited (host-side work of the inverted conflict index).
     pub closure_entries_visited: u64,
@@ -219,6 +235,10 @@ mod tests {
         assert_eq!(s.max_queue_len, 0);
         assert_eq!(s.stage.ingress.events, 0);
         assert_eq!(s.stage.egress_bytes, 0);
+        assert_eq!(s.stage.frames_encoded, 0);
+        assert_eq!(s.stage.frames_reused, 0);
+        assert_eq!(s.stage.pool_hits, 0);
+        assert_eq!(s.stage.writev_batches, 0);
         assert_eq!(s.stage.closure_entries_visited, 0);
         assert_eq!(s.stage.analyze_entries_linear, 0);
         assert_eq!(s.stage.analyze_components, 0);

@@ -14,10 +14,87 @@
 //! Every message knows its approximate encoded size so the simulated links
 //! can account bandwidth (Figure 9) without actually serializing.
 
-use crate::engine::WireSize;
+use crate::engine::{ShareId, ShareKey, WireSize};
 use seve_world::ids::{ActionId, QueuePos};
 use seve_world::state::{Snapshot, WriteLog};
 use seve_world::Action;
+use std::sync::Arc;
+
+/// A reference-counted payload that encodes transparently: `Shared<T>` has
+/// the exact wire bytes of a bare `T`.
+///
+/// This is what makes encode-once fan-out free at the protocol layer: a
+/// push cycle builds one `Shared` snapshot / item vector and every
+/// per-client message clone is an `Arc` bump, while the wire format — and
+/// therefore golden digests, bandwidth accounting, and interoperability
+/// with the [`to_bytes` oracle](crate::engine::WireSize) — is unchanged.
+/// [`Shared::ptr_id`] gives transports a frame-cache key
+/// ([`ShareId::Ptr`]).
+pub struct Shared<T>(Arc<T>);
+
+impl<T> Shared<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Shared(Arc::new(value))
+    }
+
+    /// The allocation's address, as a sharing identity. Only meaningful
+    /// while a clone is alive (the address cannot be recycled under it).
+    pub fn ptr_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::ops::Deref for Shared<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Shared<T> {
+    fn eq(&self, other: &Self) -> bool {
+        *self.0 == *other.0
+    }
+}
+
+impl<T> From<T> for Shared<T> {
+    fn from(value: T) -> Self {
+        Shared::new(value)
+    }
+}
+
+impl<T> From<Arc<T>> for Shared<T> {
+    fn from(value: Arc<T>) -> Self {
+        Shared(value)
+    }
+}
+
+// The vendored serde has no `rc` feature, and we want byte-transparency
+// (no Arc framing on the wire) anyway — forward both impls by hand.
+impl<T: serde::Serialize> serde::Serialize for Shared<T> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(serializer)
+    }
+}
+
+impl<'de, T: serde::Deserialize<'de>> serde::Deserialize<'de> for Shared<T> {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Shared::new)
+    }
+}
 
 /// An entry in a server→client batch, ordered by queue position.
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
@@ -34,25 +111,25 @@ pub struct Item<A> {
 #[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub enum Payload<A> {
     /// A serialized action to evaluate at its position.
-    Action(A),
+    Action(Shared<A>),
     /// A blind write `W(S, ζ_S(S))`: authoritative committed values.
-    Blind(Snapshot),
+    Blind(Shared<Snapshot>),
 }
 
 impl<A: Action> Item<A> {
     /// An action item.
-    pub fn action(pos: QueuePos, a: A) -> Self {
+    pub fn action(pos: QueuePos, a: impl Into<Shared<A>>) -> Self {
         Item {
             pos,
-            payload: Payload::Action(a),
+            payload: Payload::Action(a.into()),
         }
     }
 
     /// A blind-write item capturing committed state as of `as_of`.
-    pub fn blind(as_of: QueuePos, snap: Snapshot) -> Self {
+    pub fn blind(as_of: QueuePos, snap: impl Into<Shared<Snapshot>>) -> Self {
         Item {
             pos: as_of,
-            payload: Payload::Blind(snap),
+            payload: Payload::Blind(snap.into()),
         }
     }
 }
@@ -105,8 +182,9 @@ pub enum ToClient<A> {
     /// An ordered batch of serialized actions and blind writes.
     Batch {
         /// Items in ascending position order (blind writes first among
-        /// equal positions).
-        items: Vec<Item<A>>,
+        /// equal positions). Refcounted so a broadcast span is built once
+        /// and shared by every recipient's message.
+        items: Shared<Vec<Item<A>>>,
     },
     /// The client's own action was dropped by the Information Bound Model
     /// (Algorithm 7): it aborts as a no-op everywhere.
@@ -130,6 +208,20 @@ impl<A: Action> WireSize for ToClient<A> {
             ToClient::Batch { items } => 2 + items.iter().map(WireSize::wire_bytes).sum::<u32>(),
             ToClient::Dropped { .. } => 1 + 6 + 8,
             ToClient::GcUpTo { .. } => 1 + 8,
+        }
+    }
+}
+
+impl<A> ShareKey for ToClient<A> {
+    fn share_key(&self) -> Option<ShareId> {
+        match self {
+            // Two batches sharing one item vector encode identically: the
+            // variant tag and the items are the whole message.
+            ToClient::Batch { items } => Some(ShareId::Ptr(items.ptr_id())),
+            // GC notices for one install epoch are identical by value.
+            ToClient::GcUpTo { pos } => Some(ShareId::Gc(*pos)),
+            // Drop notices are personal — never shared.
+            ToClient::Dropped { .. } => None,
         }
     }
 }
@@ -197,7 +289,8 @@ mod tests {
             items: vec![
                 Item::action(1, NopAction::new(0, 0)),
                 Item::action(2, NopAction::new(1, 0)),
-            ],
+            ]
+            .into(),
         };
         assert_eq!(batch.wire_bytes(), 2 + 2 * 19);
     }

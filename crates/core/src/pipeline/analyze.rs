@@ -150,6 +150,8 @@ impl<W: GameWorld> DropPolicy<W> for ChainBreak {
         }
         for &pos in &analysis.dropped {
             st.metrics.drops += 1;
+            // Drop notices are personal: always their own frame.
+            st.metrics.stage.frames_encoded += 1;
             let e = st.queue.get(pos).expect("just analyzed");
             out.push((
                 e.action.issuer(),

@@ -7,13 +7,21 @@
 //! stage-timed; the simulated cost model stays with the caller.
 
 use crate::closure::ClosureResult;
-use crate::msg::{Item, ToClient};
+use crate::msg::{Item, Shared, ToClient};
 use crate::pipeline::state::PipelineState;
 use crate::WireSize;
 use seve_world::ids::{ClientId, QueuePos};
 use seve_world::objset::ObjectSet;
 use seve_world::GameWorld;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// Per-push-cycle cache of assembled action spans, keyed by the position
+/// range. Valid only while the queue is untouched (one `on_tick` catch-up
+/// loop): clients lagging at the same position share one item vector — and
+/// therefore, downstream, one encoded wire frame.
+pub type SpanCache<A> = HashMap<(QueuePos, QueuePos), Shared<Vec<Item<A>>>>;
 
 /// Build the blind-write item `W(S, ζ_S(S))` for a residual read set,
 /// filtered against what `client` is already known to hold — shipping an
@@ -87,7 +95,7 @@ pub fn emit_closure_batch<W: GameWorld>(
     let t = Instant::now();
     let items = batch_items(st, client, &result.send, &result.blind_set);
     st.metrics.batch_items.record(items.len() as f64);
-    finish(st, client, items, out);
+    finish(st, client, Shared::new(items), false, out);
     st.metrics
         .stage
         .egress
@@ -108,18 +116,13 @@ pub fn emit_span<W: GameWorld>(
     out: &mut Vec<(ClientId, ToClient<W::Action>)>,
 ) -> usize {
     let t = Instant::now();
-    let mut items = Vec::with_capacity(hi.saturating_sub(lo).saturating_add(1) as usize);
-    for p in lo..=hi {
-        if let Some(e) = st.queue.get(p) {
-            items.push(Item::action(p, e.action.clone()));
-        }
-    }
+    let items = span_items(st, lo, hi);
     let n = items.len();
     if record_summary {
         st.metrics.batch_items.record(n as f64);
     }
     if n > 0 {
-        finish(st, client, items, out);
+        finish(st, client, Shared::new(items), false, out);
     }
     st.metrics
         .stage
@@ -128,16 +131,95 @@ pub fn emit_span<W: GameWorld>(
     n
 }
 
-/// Wrap the assembled items into a batch, charge the egress traffic
-/// counters, and hand the message off.
+/// [`emit_span`] with encode-once sharing: spans already assembled this
+/// push cycle (same `(lo, hi)` under an unchanged queue) are reused by
+/// reference, so every recipient's batch carries the *same* item vector —
+/// one frame on the wire side — and counts as a frame reuse instead of an
+/// encode. Byte-identical to [`emit_span`] (the cache key pins the exact
+/// positions and the queue is immutable for the cache's lifetime).
+pub fn emit_span_cached<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    client: ClientId,
+    lo: QueuePos,
+    hi: QueuePos,
+    cache: &mut SpanCache<W::Action>,
+    out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+) -> usize {
+    let t = Instant::now();
+    let (items, reused) = match cache.entry((lo, hi)) {
+        Entry::Occupied(e) => (e.get().clone(), true),
+        Entry::Vacant(v) => {
+            let items = span_items(st, lo, hi);
+            (v.insert(Shared::new(items)).clone(), false)
+        }
+    };
+    let n = items.len();
+    if n > 0 {
+        finish(st, client, items, reused, out);
+    }
+    st.metrics
+        .stage
+        .egress
+        .record(t.elapsed().as_nanos() as u64);
+    n
+}
+
+/// Collect the action items for positions `lo..=hi`, skipping positions
+/// already trimmed from the queue.
+fn span_items<W: GameWorld>(
+    st: &PipelineState<W>,
+    lo: QueuePos,
+    hi: QueuePos,
+) -> Vec<Item<W::Action>> {
+    let mut items = Vec::with_capacity(hi.saturating_sub(lo).saturating_add(1) as usize);
+    for p in lo..=hi {
+        if let Some(e) = st.queue.get(p) {
+            items.push(Item::action(p, e.action.clone()));
+        }
+    }
+    items
+}
+
+/// Emit one identical message to every client — the shared-payload
+/// broadcast path (GC notices). The first copy counts as an encode, the
+/// rest as frame reuses; the transport's frame cache sees the same split
+/// through the message's [`ShareKey`](crate::engine::ShareKey). The
+/// `egress_bytes`/`egress_msgs` traffic counters are untouched: they have
+/// only ever counted batches, and changing them would move
+/// protocol-visible numbers.
+pub fn broadcast<W: GameWorld>(
+    st: &mut PipelineState<W>,
+    msg: ToClient<W::Action>,
+    out: &mut Vec<(ClientId, ToClient<W::Action>)>,
+) {
+    for i in 0..st.num_clients() {
+        if i == 0 {
+            st.metrics.stage.frames_encoded += 1;
+        } else {
+            st.metrics.stage.frames_reused += 1;
+        }
+        out.push((ClientId(i as u16), msg.clone()));
+    }
+}
+
+/// Wrap the assembled items into a batch, charge the egress traffic and
+/// frame counters, and hand the message off. `reused` marks a batch whose
+/// item vector (and hence wire frame) is shared with an earlier message
+/// this cycle.
 fn finish<W: GameWorld>(
     st: &mut PipelineState<W>,
     client: ClientId,
-    items: Vec<Item<W::Action>>,
+    items: Shared<Vec<Item<W::Action>>>,
+    reused: bool,
     out: &mut Vec<(ClientId, ToClient<W::Action>)>,
 ) {
     let msg = ToClient::Batch { items };
     st.metrics.stage.egress_bytes += u64::from(msg.wire_bytes());
     st.metrics.stage.egress_msgs += 1;
+    if reused {
+        st.metrics.stage.frames_reused += 1;
+    } else {
+        st.metrics.stage.frames_encoded += 1;
+    }
     out.push((client, msg));
 }

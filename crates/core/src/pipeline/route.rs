@@ -170,13 +170,18 @@ impl<W: GameWorld> RoutingPolicy<W> for BroadcastRouting {
             return 0;
         };
         let mut cost = 0;
+        // The queue is immutable across this loop (trimming happens after),
+        // so lagging clients with the same `pos_C` share one assembled span
+        // — encode-once fan-out for the broadcast catch-up.
+        let mut spans = egress::SpanCache::default();
         for i in 0..self.pos_c.len() {
             if self.pos_c[i] >= last {
                 continue;
             }
             let lo = self.pos_c[i] + 1;
             self.advance(i, last);
-            let n_items = egress::emit_span(st, ClientId(i as u16), lo, last, false, out);
+            let n_items =
+                egress::emit_span_cached(st, ClientId(i as u16), lo, last, &mut spans, out);
             if n_items > 0 {
                 cost += st.cfg.msg_cost_us + st.scan_cost(n_items);
             }

@@ -7,7 +7,7 @@
 //! commit as no-ops when they reach the front.
 
 use crate::msg::ToClient;
-use crate::pipeline::state::PipelineState;
+use crate::pipeline::{egress, state::PipelineState};
 use seve_world::action::Outcome;
 use seve_world::ids::{ClientId, QueuePos};
 use seve_world::state::WriteLog;
@@ -82,19 +82,17 @@ fn install_ready<W: GameWorld>(st: &mut PipelineState<W>) -> bool {
 
 /// If enough installs have accumulated, broadcast a GC notice letting
 /// clients trim their replay logs (Section III-C memory optimization).
+/// Goes through the egress shared-payload broadcast: one notice per GC
+/// epoch is built (and, on the wire, encoded) once, not per client.
 pub fn maybe_gc_notice<W: GameWorld>(
     st: &mut PipelineState<W>,
     out: &mut Vec<(ClientId, ToClient<W::Action>)>,
 ) {
     if st.last_committed >= st.last_gc_sent + st.cfg.gc_every {
         st.last_gc_sent = st.last_committed;
-        for i in 0..st.num_clients() {
-            out.push((
-                ClientId(i as u16),
-                ToClient::GcUpTo {
-                    pos: st.last_committed,
-                },
-            ));
-        }
+        let notice = ToClient::GcUpTo {
+            pos: st.last_committed,
+        };
+        egress::broadcast(st, notice, out);
     }
 }

@@ -424,6 +424,34 @@ fn stage_profile_observes_traffic() {
     assert_eq!(stage.egress.events, 2, "one emitted batch per reply");
     assert_eq!(stage.egress_msgs, 2);
     assert!(stage.egress_bytes > 0, "batches have nonzero wire size");
+    // Per-client replies are never shared: each is its own frame.
+    assert_eq!(stage.frames_encoded, 2);
+    assert_eq!(stage.frames_reused, 0);
+}
+
+#[test]
+fn broadcast_routing_reuses_frames() {
+    // Basic mode broadcasts every submission span to all clients: the
+    // frame is built once and every further recipient reuses it, so
+    // frames_encoded + frames_reused covers every emitted message.
+    let (world, mut s) = setup(4, ServerMode::Basic);
+    let mut out = Vec::new();
+    submit(&mut s, &world, 0, 0, &mut out);
+    // on_submit replies to the issuer only (uncached span); the tick
+    // broadcast pushes the span to the other three clients from one
+    // cached frame.
+    s.tick(SimTime::from_ms(50), &mut out);
+    let stage = &s.metrics().stage;
+    assert_eq!(
+        stage.frames_encoded + stage.frames_reused,
+        stage.egress_msgs,
+        "every emitted batch is either encoded or reused"
+    );
+    assert!(
+        stage.frames_reused >= 2,
+        "broadcast recipients share one encoded frame (got {} reused)",
+        stage.frames_reused
+    );
 }
 
 #[test]

@@ -61,6 +61,7 @@
 //! oracle. Real work is reported via [`ReplayLog::entries_replayed`] and
 //! friends.
 
+use crate::msg::Shared;
 use seve_world::action::{Action, Outcome};
 use seve_world::ids::QueuePos;
 use seve_world::objset::ObjectSet;
@@ -79,13 +80,15 @@ const DEFAULT_CHECKPOINT_INTERVAL: usize = 32;
 
 enum LogItem<A> {
     Action {
-        action: A,
+        /// Refcounted: the log entry shares the delivered batch's payload
+        /// instead of deep-copying the action.
+        action: Shared<A>,
         /// The outcome of the most recent evaluation, reused by `gc` so
         /// checkpoint advancement never re-runs game code.
         outcome: Option<Outcome>,
     },
     Blind {
-        snap: Snapshot,
+        snap: Shared<Snapshot>,
         /// The snapshot's object set, precomputed for the commute gate.
         objs: ObjectSet,
     },
@@ -270,9 +273,10 @@ impl<A: Action> ReplayLog<A> {
     pub fn insert_action(
         &mut self,
         pos: QueuePos,
-        action: A,
+        action: impl Into<Shared<A>>,
         mut eval: impl FnMut(QueuePos, &A, &WorldState, bool) -> Outcome,
     ) -> Inserted {
+        let action = action.into();
         debug_assert!(pos > self.base_pos, "action at or before the checkpoint");
         debug_assert!(!self.has_action(pos), "duplicate action position");
         let key: Key = (pos, 0, self.next_arrival());
@@ -347,9 +351,10 @@ impl<A: Action> ReplayLog<A> {
     pub fn insert_blind(
         &mut self,
         as_of: QueuePos,
-        snap: Snapshot,
+        snap: impl Into<Shared<Snapshot>>,
         mut eval: impl FnMut(QueuePos, &A, &WorldState, bool) -> Outcome,
     ) -> Inserted {
+        let snap = snap.into();
         if as_of < self.base_pos {
             // Strictly older than our checkpoint: it cannot add anything we
             // would apply (our base already reflects a later prefix for

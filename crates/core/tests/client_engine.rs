@@ -29,7 +29,9 @@ fn setup(mode: ServerMode) -> (Arc<DiningWorld>, Client) {
 }
 
 fn batch(items: Vec<Item<<DiningWorld as GameWorld>::Action>>) -> Down {
-    ToClient::Batch { items }
+    ToClient::Batch {
+        items: items.into(),
+    }
 }
 
 #[test]
@@ -275,7 +277,7 @@ fn eq2_bound_holds_for_every_pushed_action() {
             continue;
         };
         let client_pos = env.seat(client.index());
-        for item in items {
+        for item in items.iter() {
             if let Payload::Action(a) = &item.payload {
                 if a.issuer() == *client {
                     continue; // own actions are always delivered

@@ -44,4 +44,4 @@ pub use node::NodeDriver;
 pub use report::{ClientReport, ReplayWork, ServerReport, SessionReport};
 pub use sim::{AveragedResult, RunResult, SimConfig, Simulation};
 pub use timer::{CatchUp, MoveTimer, PeriodicTimer, Timer};
-pub use transport::{ClientEvent, ClientTransport, ServerEvent, ServerTransport};
+pub use transport::{ClientEvent, ClientTransport, EgressStats, ServerEvent, ServerTransport};

@@ -160,8 +160,14 @@ impl NodeDriver {
         }
 
         transport.stop_all()?;
+        // Fold the transport's wire-path work (invisible to the engine)
+        // into the stage profile alongside the engine's logical counters.
+        let wire = transport.egress_stats();
+        let mut metrics = engine.metrics().clone();
+        metrics.stage.pool_hits += wire.pool_hits;
+        metrics.stage.writev_batches += wire.writev_batches;
         Ok(ServerReport {
-            metrics: engine.metrics().clone(),
+            metrics,
             committed_digest: engine.committed().map(|s| s.digest()),
             bytes_out,
         })

@@ -161,6 +161,12 @@ pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
     );
     let _ = writeln!(
         out,
+        "  wire path: {} frames encoded, {} reused (shared payloads), \
+         {} pool hits, {} writev batches",
+        stage.frames_encoded, stage.frames_reused, stage.pool_hits, stage.writev_batches
+    );
+    let _ = writeln!(
+        out,
         "  closure index: {} entries visited ({} linear-equivalent)",
         stage.closure_entries_visited, stage.closure_entries_linear
     );
@@ -225,6 +231,10 @@ mod tests {
         stage.egress.record(1_000);
         stage.egress_msgs = 3;
         stage.egress_bytes = 120;
+        stage.frames_encoded = 2;
+        stage.frames_reused = 1;
+        stage.pool_hits = 5;
+        stage.writev_batches = 4;
         let text = render_stage_profile("SEVE @ 8 clients", &stage);
         for name in ["ingress", "serialize", "analyze", "route", "egress"] {
             assert!(text.contains(name), "missing stage {name}");
@@ -232,6 +242,12 @@ mod tests {
         assert!(text.contains("SEVE @ 8 clients"));
         assert!(text.contains("analyze threads: 1"), "default budget shown");
         assert!(text.contains("3 messages, 120 wire bytes"));
+        assert!(
+            text.contains(
+                "2 frames encoded, 1 reused (shared payloads), 5 pool hits, 4 writev batches"
+            ),
+            "wire-path line missing or malformed"
+        );
         assert!(text.contains("closure index"));
         assert!(text.contains("analyze index"));
         assert!(

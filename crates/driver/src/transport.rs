@@ -36,6 +36,21 @@ pub enum ClientEvent<D> {
     Closed,
 }
 
+/// Wire-path work a transport performed on the server's behalf — the
+/// part of egress the engine cannot observe (buffer recycling, syscall
+/// batching). Merged into the stage profile by
+/// [`crate::node::NodeDriver::run_server`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EgressStats {
+    /// Encode buffers served from a recycle pool (zero-allocation
+    /// steady state when this tracks the encode count).
+    pub pool_hits: u64,
+    /// Encode buffers that had to be freshly allocated.
+    pub pool_misses: u64,
+    /// Vectored-write batches (syscalls) issued while draining egress.
+    pub writev_batches: u64,
+}
+
 /// The server's view of the network: a merged inbound stream from every
 /// client, and per-client outbound delivery.
 pub trait ServerTransport<U, D> {
@@ -53,6 +68,12 @@ pub trait ServerTransport<U, D> {
 
     /// End the session: tell every client to stop.
     fn stop_all(&mut self) -> Result<(), Self::Error>;
+
+    /// Cumulative wire-path statistics. Transports without a real wire
+    /// path (channels, simulation) report zeros.
+    fn egress_stats(&self) -> EgressStats {
+        EgressStats::default()
+    }
 }
 
 /// A client's view of the network: one duplex lane to the server.

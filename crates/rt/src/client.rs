@@ -7,8 +7,9 @@
 //! the driver layer's [`NodeDriver::run_client`], shared with the
 //! in-process backend.
 
-use crate::frame::{write_msg, FrameError, FrameReader};
+use crate::frame::{encode_frame_into, write_msg, FrameError, FrameReader};
 use crate::server::{RtDown, RtUp};
+use crate::wire::BufferPool;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -32,6 +33,9 @@ pub use seve_driver::ClientReport;
 pub struct TcpClientTransport<U, D> {
     writer: TcpStream,
     rx: Receiver<RtDown<D>>,
+    /// Recycled encode buffer for the submit path: after the first send,
+    /// framing a message allocates nothing.
+    pool: BufferPool,
     _up: PhantomData<U>,
 }
 
@@ -48,7 +52,17 @@ impl<U: Serialize, D> ClientTransport<U, D> for TcpClientTransport<U, D> {
     }
 
     fn send(&mut self, msg: U) -> Result<u64, FrameError> {
-        Ok(write_msg(&mut self.writer, &RtUp::Msg(msg))? as u64)
+        use std::io::Write;
+        let mut frame = self.pool.take();
+        let r = encode_frame_into(&RtUp::Msg(msg), &mut frame);
+        let len = frame.len() as u64;
+        let r = r.and_then(|()| {
+            self.writer.write_all(&frame)?;
+            self.writer.flush()?;
+            Ok(())
+        });
+        self.pool.put(frame);
+        r.map(|()| len)
     }
 
     fn finish(&mut self) -> Result<u64, FrameError> {
@@ -99,6 +113,7 @@ where
     let mut transport = TcpClientTransport {
         writer,
         rx,
+        pool: BufferPool::new(),
         _up: PhantomData,
     };
     let mut report =

@@ -51,17 +51,31 @@ impl From<WireError> for FrameError {
     }
 }
 
+/// Encode one message as a complete frame — length prefix and payload in
+/// one contiguous buffer — appending to `buf` (typically a recycled
+/// [`wire::BufferPool`] buffer). The 4-byte prefix slot is reserved up
+/// front and back-patched once the payload length is known, so the value
+/// is serialized exactly once with no intermediate allocation.
+pub fn encode_frame_into<T: Serialize>(msg: &T, buf: &mut Vec<u8>) -> Result<(), FrameError> {
+    let frame_start = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    wire::to_bytes_into(msg, buf)?;
+    let payload_len = buf.len() - frame_start - 4;
+    if payload_len > MAX_FRAME {
+        buf.truncate(frame_start);
+        return Err(FrameError::Oversize(payload_len));
+    }
+    buf[frame_start..frame_start + 4].copy_from_slice(&(payload_len as u32).to_le_bytes());
+    Ok(())
+}
+
 /// Write one message as a frame. Returns the frame's size on the wire.
 pub fn write_msg<T: Serialize>(stream: &mut TcpStream, msg: &T) -> Result<usize, FrameError> {
-    let payload = wire::to_bytes(msg)?;
-    if payload.len() > MAX_FRAME {
-        return Err(FrameError::Oversize(payload.len()));
-    }
-    let len = (payload.len() as u32).to_le_bytes();
-    stream.write_all(&len)?;
-    stream.write_all(&payload)?;
+    let mut frame = Vec::new();
+    encode_frame_into(msg, &mut frame)?;
+    stream.write_all(&frame)?;
     stream.flush()?;
-    Ok(4 + payload.len())
+    Ok(frame.len())
 }
 
 /// A buffered frame reader over a stream.
@@ -145,6 +159,19 @@ mod tests {
         sender.join().unwrap();
         let end = reader.read_msg::<u8>().unwrap_err();
         assert!(matches!(end, FrameError::Closed));
+    }
+
+    #[test]
+    fn encoded_frames_match_the_streamed_layout() {
+        let msg = ("hello".to_string(), 42u32);
+        let mut frame = Vec::new();
+        encode_frame_into(&msg, &mut frame).unwrap();
+        let payload = wire::to_bytes(&msg).unwrap();
+        assert_eq!(&frame[..4], &(payload.len() as u32).to_le_bytes());
+        assert_eq!(&frame[4..], &payload[..]);
+        // Appending a second frame leaves the first untouched.
+        encode_frame_into(&7u8, &mut frame).unwrap();
+        assert_eq!(&frame[4..4 + payload.len()], &payload[..]);
     }
 
     #[test]

@@ -9,16 +9,21 @@
 //! driver layer's [`NodeDriver::run_server`], shared with the in-process
 //! backend.
 
-use crate::frame::{write_msg, FrameError, FrameReader};
+use crate::frame::{encode_frame_into, write_msg, FrameError, FrameReader};
+use crate::wire::BufferPool;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
-use seve_core::engine::ServerNode;
-use seve_driver::{NodeDriver, ServerEvent, ServerTransport};
+use seve_core::engine::{ServerNode, ShareId, ShareKey};
+use seve_driver::{EgressStats, NodeDriver, ServerEvent, ServerTransport};
 use seve_world::ids::ClientId;
 use seve_world::GameWorld;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::io::{self, IoSlice, Write};
 use std::marker::PhantomData;
 use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use seve_driver::ServerReport;
@@ -50,6 +55,19 @@ pub enum RtDown<M> {
     Stop,
 }
 
+/// Borrowing encoder for [`RtDown::Msg`]: serializes byte-identically to
+/// `RtDown::Msg(msg)` — same variant index, same payload — without moving
+/// or cloning the message into the envelope. This is what lets the fan-out
+/// encode each outbound message exactly once, straight from the engine's
+/// batch slice.
+struct RtDownMsgRef<'a, M>(&'a M);
+
+impl<M: Serialize> Serialize for RtDownMsgRef<'_, M> {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_newtype_variant("RtDown", 0, "Msg", self.0)
+    }
+}
+
 enum Inbound<M> {
     Msg(ClientId, M),
     /// Orderly goodbye or lost connection; either ends the client's session.
@@ -63,10 +81,14 @@ enum Inbound<M> {
 pub struct TcpServerTransport<U, D> {
     rx: Receiver<Inbound<U>>,
     writers: Vec<Option<TcpStream>>,
+    /// Recycled encode buffers: after warm-up, every frame encodes into a
+    /// buffer from a previous batch instead of a fresh allocation.
+    pool: BufferPool,
+    writev_batches: u64,
     _down: PhantomData<D>,
 }
 
-impl<U, D: Serialize + Clone + Sync> ServerTransport<U, D> for TcpServerTransport<U, D> {
+impl<U, D: Serialize + ShareKey + Sync> ServerTransport<U, D> for TcpServerTransport<U, D> {
     type Error = FrameError;
 
     fn recv(&mut self, timeout: Duration) -> Result<ServerEvent<U>, FrameError> {
@@ -79,7 +101,9 @@ impl<U, D: Serialize + Clone + Sync> ServerTransport<U, D> for TcpServerTranspor
     }
 
     fn send_batch(&mut self, out: &[(ClientId, D)]) -> Result<u64, FrameError> {
-        fan_out(&mut self.writers, out)
+        let (bytes, batches) = fan_out(&mut self.writers, out, D::share_key, &mut self.pool)?;
+        self.writev_batches += batches;
+        Ok(bytes)
     }
 
     fn stop_all(&mut self) -> Result<(), FrameError> {
@@ -88,6 +112,14 @@ impl<U, D: Serialize + Clone + Sync> ServerTransport<U, D> for TcpServerTranspor
             let _ = write_msg(w, &RtDown::<D>::Stop);
         }
         Ok(())
+    }
+
+    fn egress_stats(&self) -> EgressStats {
+        EgressStats {
+            pool_hits: self.pool.hits(),
+            pool_misses: self.pool.misses(),
+            writev_batches: self.writev_batches,
+        }
     }
 }
 
@@ -108,7 +140,7 @@ where
     W: GameWorld,
     S: ServerNode<W>,
     S::Up: DeserializeOwned + 'static,
-    S::Down: Serialize + Clone + Sync,
+    S::Down: Serialize + ShareKey + Sync,
 {
     let (tx, rx) = channel::unbounded::<Inbound<S::Up>>();
     let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
@@ -126,8 +158,8 @@ where
             world_digest: theirs,
         } = hello
         else {
-            return Err(FrameError::Codec(crate::wire::WireError(
-                "expected Hello as the first frame".into(),
+            return Err(FrameError::Codec(crate::wire::WireError::Unsupported(
+                "expected Hello as the first frame",
             )));
         };
         if theirs != world_digest {
@@ -187,6 +219,8 @@ where
     let mut transport = TcpServerTransport {
         rx,
         writers,
+        pool: BufferPool::new(),
+        writev_batches: 0,
         _down: PhantomData,
     };
     let report = NodeDriver::server(tick, push).run_server(engine, &mut transport, n)?;
@@ -201,71 +235,213 @@ where
     Ok(report)
 }
 
+/// Coalescing threshold: the most frames handed to one `write_vectored`
+/// call. Past this the syscall savings are already banked and the iovec
+/// itself starts costing.
+const WRITEV_MAX_FRAMES: usize = 64;
+
+/// Cap on concurrent drain workers: a few per core covers sockets blocked
+/// in `write` without paying a thread spawn per destination per cycle.
+fn drain_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism().map_or(4, |p| (p.get() * 2).clamp(4, 16))
+    })
+}
+
 /// Write one engine step's outbound batch to the client sockets, returning
-/// the bytes written.
+/// `(bytes written, vectored-write batches issued)`.
 ///
-/// The parallel egress stage of the real-time host: when the batch targets
-/// more than one client, the per-client message groups fan out across
-/// scoped worker threads, one worker per destination client, each owning
-/// that client's socket for the duration of the call. All of a client's
-/// messages are written by exactly one worker in batch order, and
-/// successive `fan_out` calls are sequential, so per-client FIFO delivery
-/// — the ordering contract the replay log depends on — is preserved while
-/// slow receivers no longer stall the whole fan-out. With zero or one
-/// destination the call degenerates to a plain sequential write loop.
-pub fn fan_out<M: Serialize + Clone + Sync>(
+/// The encode-once egress stage of the real-time host, in two phases:
+///
+/// 1. **Encode.** Each message is framed exactly once into a buffer from
+///    `pool` (length prefix back-patched — see
+///    [`crate::frame::encode_frame_into`]). Messages whose `share_key`
+///    matches an earlier message in the same batch — broadcast payloads
+///    like GC notices and shared-span batches — reuse the earlier frame
+///    (`Arc` clone) instead of re-encoding; `share_key` returning `None`
+///    always encodes individually. Frame boundaries on the wire are one
+///    frame per message, identical to the per-message `write_msg` path.
+/// 2. **Drain.** Each busy destination's ordered frame list is written by
+///    exactly one worker through `write_vectored` in chunks of up to
+///    [`WRITEV_MAX_FRAMES`] frames. Scoped workers — capped at
+///    [`drain_workers`], not one per client — pull whole lanes from a
+///    shared queue, so a fleet-sized broadcast costs a handful of thread
+///    spawns instead of one per destination, while a destination stalled
+///    in `write` occupies only its worker and the rest keep draining.
+///    One lane never splits across workers and successive `fan_out`
+///    calls are sequential, so per-client FIFO delivery (the ordering
+///    contract the replay log depends on) is preserved.
+///
+/// Afterwards every frame buffer whose references have drained returns to
+/// `pool`, so the steady state allocates nothing.
+pub fn fan_out<M: Serialize + Sync>(
     writers: &mut [Option<TcpStream>],
     out: &[(ClientId, M)],
-) -> Result<u64, FrameError> {
-    // Group messages by destination, preserving order within each group.
-    let mut groups: Vec<Vec<&M>> = (0..writers.len()).map(|_| Vec::new()).collect();
-    for (dest, msg) in out {
-        if writers[dest.index()].is_some() {
-            groups[dest.index()].push(msg);
+    share_key: impl Fn(&M) -> Option<ShareId>,
+    pool: &mut BufferPool,
+) -> Result<(u64, u64), FrameError> {
+    // Phase 1: encode each distinct frame once; build per-lane frame lists
+    // (order preserved within each lane).
+    let mut frames: Vec<Arc<Vec<u8>>> = Vec::with_capacity(out.len());
+    let mut lanes: Vec<Vec<Arc<Vec<u8>>>> = (0..writers.len()).map(|_| Vec::new()).collect();
+    {
+        // The cache lives only for this batch: the Arcs in `frames` keep
+        // the pointed-to buffers alive, so a ShareId can never alias a
+        // recycled frame within the batch.
+        let mut cache: HashMap<ShareId, Arc<Vec<u8>>> = HashMap::new();
+        let encode = |msg: &M, pool: &mut BufferPool| -> Result<Arc<Vec<u8>>, FrameError> {
+            let mut buf = pool.take();
+            encode_frame_into(&RtDownMsgRef(msg), &mut buf)?;
+            Ok(Arc::new(buf))
+        };
+        for (dest, msg) in out {
+            if writers[dest.index()].is_none() {
+                continue;
+            }
+            let frame = match share_key(msg) {
+                Some(k) => match cache.entry(k) {
+                    Entry::Occupied(e) => e.get().clone(),
+                    Entry::Vacant(v) => {
+                        let f = encode(msg, pool)?;
+                        frames.push(Arc::clone(&f));
+                        v.insert(Arc::clone(&f));
+                        f
+                    }
+                },
+                None => {
+                    let f = encode(msg, pool)?;
+                    frames.push(Arc::clone(&f));
+                    f
+                }
+            };
+            lanes[dest.index()].push(frame);
         }
     }
-    if groups.iter().filter(|g| !g.is_empty()).count() <= 1 {
-        // Nothing to overlap: write sequentially on this thread.
-        let mut bytes = 0u64;
-        for (dest, msg) in out {
-            if let Some(w) = writers[dest.index()].as_mut() {
-                bytes += write_msg(w, &RtDown::Msg(msg.clone()))? as u64;
+
+    // Phase 2: drain each busy lane. The writer slice is partitioned into
+    // disjoint `&mut` sockets, so workers cannot interleave on a stream.
+    let busy = lanes.iter().filter(|l| !l.is_empty()).count();
+    let (bytes, batches) = if busy <= 1 {
+        // Nothing to overlap: drain inline on this thread.
+        let mut totals = (0u64, 0u64);
+        for (w, lane) in writers.iter_mut().zip(lanes.iter()) {
+            if let (Some(w), false) = (w.as_mut(), lane.is_empty()) {
+                totals = drain_lane(w, lane)?;
             }
         }
-        return Ok(bytes);
-    }
-    // One worker per busy destination. The writer slice is partitioned into
-    // disjoint `&mut` sockets, so workers cannot interleave on a stream.
-    let lanes: Vec<(&mut TcpStream, &[&M])> = writers
-        .iter_mut()
-        .zip(groups.iter())
-        .filter_map(|(w, g)| match w {
-            Some(w) if !g.is_empty() => Some((w, g.as_slice())),
-            _ => None,
-        })
-        .collect();
-    let results = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = lanes
-            .into_iter()
-            .map(|(w, msgs)| {
-                s.spawn(move |_| -> Result<u64, FrameError> {
-                    let mut bytes = 0u64;
-                    for msg in msgs {
-                        bytes += write_msg(w, &RtDown::Msg((*msg).clone()))? as u64;
-                    }
-                    Ok(bytes)
-                })
+        totals
+    } else {
+        let lane_refs: Vec<(&mut TcpStream, &[Arc<Vec<u8>>])> = writers
+            .iter_mut()
+            .zip(lanes.iter())
+            .filter_map(|(w, l)| match w {
+                Some(w) if !l.is_empty() => Some((w, l.as_slice())),
+                _ => None,
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fan-out worker panicked"))
-            .collect::<Vec<_>>()
-    })
-    .expect("fan-out scope panicked");
-    let mut bytes = 0u64;
-    for r in results {
-        bytes += r?;
+        let workers = lane_refs.len().min(drain_workers());
+        let queue = std::sync::Mutex::new(lane_refs);
+        let results = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let queue = &queue;
+                    s.spawn(move |_| {
+                        let mut totals = (0u64, 0u64);
+                        while let Some((w, lane)) = queue.lock().expect("lane queue").pop() {
+                            let (b, k) = drain_lane(w, lane)?;
+                            totals.0 += b;
+                            totals.1 += k;
+                        }
+                        Ok::<_, FrameError>(totals)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fan-out worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("fan-out scope panicked");
+        let mut totals = (0u64, 0u64);
+        for r in results {
+            let (b, k) = r?;
+            totals.0 += b;
+            totals.1 += k;
+        }
+        totals
+    };
+
+    // Recycle: the lane lists are done, so each buffer is back to a single
+    // reference and returns to the pool for the next batch.
+    drop(lanes);
+    for f in frames {
+        if let Ok(buf) = Arc::try_unwrap(f) {
+            pool.put(buf);
+        }
     }
-    Ok(bytes)
+    Ok((bytes, batches))
+}
+
+/// Drain one client's ordered frame list through vectored writes, chunked
+/// at [`WRITEV_MAX_FRAMES`]; partial writes re-slice from the first
+/// unwritten byte. Returns `(bytes written, write batches issued)`.
+fn drain_lane(w: &mut TcpStream, frames: &[Arc<Vec<u8>>]) -> Result<(u64, u64), FrameError> {
+    let mut bytes = 0u64;
+    let mut batches = 0u64;
+    let mut chunk_start = 0usize;
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(frames.len().min(WRITEV_MAX_FRAMES));
+    while chunk_start < frames.len() {
+        let chunk = &frames[chunk_start..(chunk_start + WRITEV_MAX_FRAMES).min(frames.len())];
+        let total: usize = chunk.iter().map(|f| f.len()).sum();
+        // (frame index, byte offset) of the first unwritten byte.
+        let mut at = (0usize, 0usize);
+        let mut written = 0usize;
+        while written < total {
+            slices.clear();
+            slices.push(IoSlice::new(&chunk[at.0][at.1..]));
+            for f in &chunk[at.0 + 1..] {
+                slices.push(IoSlice::new(f));
+            }
+            let n = w.write_vectored(&slices)?;
+            if n == 0 {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "vectored write made no progress",
+                )));
+            }
+            batches += 1;
+            written += n;
+            // Advance (frame, offset) past the bytes just written.
+            let mut rem = n;
+            while rem > 0 {
+                let avail = chunk[at.0].len() - at.1;
+                if rem >= avail {
+                    rem -= avail;
+                    at = (at.0 + 1, 0);
+                } else {
+                    at.1 += rem;
+                    rem = 0;
+                }
+            }
+        }
+        bytes += total as u64;
+        chunk_start += chunk.len();
+    }
+    w.flush()?;
+    Ok((bytes, batches))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire;
+
+    #[test]
+    fn borrowed_envelope_encodes_like_the_owned_variant() {
+        let msg = ("payload".to_string(), vec![1u64, 2, 3]);
+        let owned = wire::to_bytes(&RtDown::Msg(msg.clone())).unwrap();
+        let borrowed = wire::to_bytes(&RtDownMsgRef(&msg)).unwrap();
+        assert_eq!(owned, borrowed);
+    }
 }

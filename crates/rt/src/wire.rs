@@ -11,12 +11,48 @@ use serde::{ser, Serialize};
 use std::fmt;
 
 /// Encoding / decoding errors.
+///
+/// The hot decoder paths (bounds checks, tag validation) build dedicated
+/// payload-carrying variants so failing to decode never allocates; the
+/// message is only formatted when the error actually escapes through
+/// `Display`.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WireError(pub String);
+pub enum WireError {
+    /// The input ended before a value could be decoded.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that were actually left.
+        had: usize,
+    },
+    /// Bytes remained after the value was fully decoded.
+    Trailing(usize),
+    /// A bool byte other than 0 or 1.
+    InvalidBool(u8),
+    /// An `Option` tag byte other than 0 or 1.
+    InvalidOptionTag(u8),
+    /// A char code outside the Unicode scalar-value range.
+    InvalidChar(u32),
+    /// A fixed diagnostic for misuse of the format (unsupported
+    /// operations, oversize lengths, framing misuse).
+    Unsupported(&'static str),
+    /// A serde-originated custom message (including UTF-8 failures).
+    Custom(String),
+}
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wire: {}", self.0)
+        match self {
+            WireError::Truncated { needed, had } => {
+                write!(f, "wire: needed {needed} bytes, had {had}")
+            }
+            WireError::Trailing(n) => write!(f, "wire: {n} trailing bytes after value"),
+            WireError::InvalidBool(b) => write!(f, "wire: invalid bool byte {b}"),
+            WireError::InvalidOptionTag(b) => write!(f, "wire: invalid option tag {b}"),
+            WireError::InvalidChar(code) => write!(f, "wire: invalid char code {code}"),
+            WireError::Unsupported(msg) => write!(f, "wire: {msg}"),
+            WireError::Custom(msg) => write!(f, "wire: {msg}"),
+        }
     }
 }
 
@@ -24,21 +60,30 @@ impl std::error::Error for WireError {}
 
 impl ser::Error for WireError {
     fn custom<T: fmt::Display>(msg: T) -> Self {
-        WireError(msg.to_string())
+        WireError::Custom(msg.to_string())
     }
 }
 
 impl de::Error for WireError {
     fn custom<T: fmt::Display>(msg: T) -> Self {
-        WireError(msg.to_string())
+        WireError::Custom(msg.to_string())
     }
 }
 
 /// Serialize `value` into bytes.
 pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::with_capacity(128);
-    value.serialize(&mut Encoder { out: &mut out })?;
+    to_bytes_into(value, &mut out)?;
     Ok(out)
+}
+
+/// Serialize `value` by appending to `out`, reusing its capacity.
+///
+/// Byte-for-byte identical to [`to_bytes`] (which delegates here); with a
+/// recycled buffer from a [`BufferPool`], steady-state encoding performs
+/// zero heap allocations.
+pub fn to_bytes_into<T: Serialize>(value: &T, out: &mut Vec<u8>) -> Result<(), WireError> {
+    value.serialize(&mut Encoder { out })
 }
 
 /// Deserialize a `T` from `bytes`, requiring full consumption.
@@ -46,12 +91,60 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
     let mut dec = Decoder { input: bytes };
     let v = T::deserialize(&mut dec)?;
     if !dec.input.is_empty() {
-        return Err(WireError(format!(
-            "{} trailing bytes after value",
-            dec.input.len()
-        )));
+        return Err(WireError::Trailing(dec.input.len()));
     }
     Ok(v)
+}
+
+/// A free list of encode buffers so steady-state egress re-uses frames
+/// instead of allocating.
+///
+/// `take` prefers a recycled buffer (a *hit*) and only allocates on a
+/// *miss*; `put` clears the buffer but keeps its capacity. The hit/miss
+/// split feeds the `pool_hits` stage counter, which is how the smoke check
+/// asserts zero steady-state allocations.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<u8>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty (cleared) buffer, recycled when one is available.
+    pub fn take(&mut self) -> Vec<u8> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.hits += 1;
+                buf
+            }
+            None => {
+                self.misses += 1;
+                Vec::with_capacity(128)
+            }
+        }
+    }
+
+    /// Return a buffer to the pool, keeping its capacity for reuse.
+    pub fn put(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.free.push(buf);
+    }
+
+    /// Takes that were served from the free list.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Takes that had to allocate a fresh buffer.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
 }
 
 struct Encoder<'a> {
@@ -64,7 +157,7 @@ impl Encoder<'_> {
     }
 
     fn put_len(&mut self, len: usize) -> Result<(), WireError> {
-        let len = u32::try_from(len).map_err(|_| WireError("length > u32::MAX".into()))?;
+        let len = u32::try_from(len).map_err(|_| WireError::Unsupported("length > u32::MAX"))?;
         self.put(&len.to_le_bytes());
         Ok(())
     }
@@ -178,7 +271,7 @@ impl ser::Serializer for &mut Encoder<'_> {
         v.serialize(self)
     }
     fn serialize_seq(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len = len.ok_or_else(|| WireError("sequences must know their length".into()))?;
+        let len = len.ok_or(WireError::Unsupported("sequences must know their length"))?;
         self.put_len(len)?;
         Ok(self)
     }
@@ -199,7 +292,7 @@ impl ser::Serializer for &mut Encoder<'_> {
         Ok(self)
     }
     fn serialize_map(self, len: Option<usize>) -> Result<Self, WireError> {
-        let len = len.ok_or_else(|| WireError("maps must know their length".into()))?;
+        let len = len.ok_or(WireError::Unsupported("maps must know their length"))?;
         self.put_len(len)?;
         Ok(self)
     }
@@ -279,10 +372,10 @@ struct Decoder<'de> {
 impl<'de> Decoder<'de> {
     fn take(&mut self, n: usize) -> Result<&'de [u8], WireError> {
         if self.input.len() < n {
-            return Err(WireError(format!(
-                "needed {n} bytes, had {}",
-                self.input.len()
-            )));
+            return Err(WireError::Truncated {
+                needed: n,
+                had: self.input.len(),
+            });
         }
         let (head, tail) = self.input.split_at(n);
         self.input = tail;
@@ -310,14 +403,14 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     type Error = WireError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, WireError> {
-        Err(WireError("format is not self-describing".into()))
+        Err(WireError::Unsupported("format is not self-describing"))
     }
 
     fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         match self.take(1)?[0] {
             0 => visitor.visit_bool(false),
             1 => visitor.visit_bool(true),
-            b => Err(WireError(format!("invalid bool byte {b}"))),
+            b => Err(WireError::InvalidBool(b)),
         }
     }
 
@@ -343,15 +436,13 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let code = u32::from_le_bytes(self.take_array()?);
-        visitor.visit_char(
-            char::from_u32(code).ok_or_else(|| WireError(format!("invalid char code {code}")))?,
-        )
+        visitor.visit_char(char::from_u32(code).ok_or(WireError::InvalidChar(code))?)
     }
 
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
         let len = self.take_len()?;
         let bytes = self.take(len)?;
-        visitor.visit_str(std::str::from_utf8(bytes).map_err(|e| WireError(e.to_string()))?)
+        visitor.visit_str(std::str::from_utf8(bytes).map_err(|e| WireError::Custom(e.to_string()))?)
     }
 
     fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, WireError> {
@@ -371,7 +462,7 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         match self.take(1)?[0] {
             0 => visitor.visit_none(),
             1 => visitor.visit_some(self),
-            b => Err(WireError(format!("invalid option tag {b}"))),
+            b => Err(WireError::InvalidOptionTag(b)),
         }
     }
 
@@ -450,12 +541,12 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
     }
 
     fn deserialize_identifier<V: Visitor<'de>>(self, _: V) -> Result<V::Value, WireError> {
-        Err(WireError("identifiers are not encoded".into()))
+        Err(WireError::Unsupported("identifiers are not encoded"))
     }
 
     fn deserialize_ignored_any<V: Visitor<'de>>(self, _: V) -> Result<V::Value, WireError> {
-        Err(WireError(
-            "cannot skip values in a non-self-describing format".into(),
+        Err(WireError::Unsupported(
+            "cannot skip values in a non-self-describing format",
         ))
     }
 
@@ -639,7 +730,35 @@ mod tests {
     fn truncated_input_errors_cleanly() {
         let bytes = to_bytes(&12345678u64).unwrap();
         let err = from_bytes::<u64>(&bytes[..4]).unwrap_err();
-        assert!(err.0.contains("needed"));
+        assert_eq!(err, WireError::Truncated { needed: 8, had: 4 });
+        assert_eq!(err.to_string(), "wire: needed 8 bytes, had 4");
+    }
+
+    #[test]
+    fn pooled_encoding_matches_to_bytes() {
+        let v = Mixed {
+            a: 7,
+            b: -42,
+            c: 1.5,
+            d: true,
+            e: Some(9),
+            f: vec![1, 2, 3],
+            g: "héllo".into(),
+            h: (4, 5),
+        };
+        let oracle = to_bytes(&v).unwrap();
+        let mut pool = BufferPool::new();
+        let mut buf = pool.take();
+        to_bytes_into(&v, &mut buf).unwrap();
+        assert_eq!(buf, oracle);
+        pool.put(buf);
+        // A recycled buffer must start empty and produce identical bytes.
+        let mut buf = pool.take();
+        assert!(buf.is_empty());
+        to_bytes_into(&v, &mut buf).unwrap();
+        assert_eq!(buf, oracle);
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
     }
 
     #[test]

@@ -7,8 +7,10 @@
 //! that every client reads its own stream back in exact emission order —
 //! and that nothing is lost, duplicated, or cross-delivered.
 
+use seve_core::engine::ShareId;
 use seve_rt::frame::FrameReader;
 use seve_rt::server::{fan_out, RtDown};
+use seve_rt::wire::BufferPool;
 use seve_world::ids::ClientId;
 use std::net::{TcpListener, TcpStream};
 
@@ -56,6 +58,7 @@ fn fan_out_preserves_per_client_fifo_order() {
     // each client's sequence numbers strictly ascend across flushes.
     let mut seqs = [0u32; CLIENTS];
     let mut total_bytes = 0u64;
+    let mut pool = BufferPool::new();
     for _ in 0..FLUSHES {
         let mut out: Vec<(ClientId, u64)> = Vec::new();
         for round in 0..PER_CLIENT_PER_FLUSH {
@@ -66,9 +69,13 @@ fn fan_out_preserves_per_client_fifo_order() {
                 seqs[c as usize] += 1;
             }
         }
-        total_bytes += fan_out(&mut writers, &out).expect("fan out");
+        let (bytes, _batches) = fan_out(&mut writers, &out, |_| None, &mut pool).expect("fan out");
+        total_bytes += bytes;
     }
     assert!(total_bytes > 0);
+    // Frame buffers recycle across flushes: after warm-up every encode is
+    // a pool hit (the steady state allocates nothing).
+    assert!(pool.hits() > 0, "expected recycled encode buffers");
     drop(writers); // close the sockets so lagging readers fail loudly
 
     for h in reader_handles {
@@ -99,7 +106,8 @@ fn fan_out_single_destination_stays_sequential_and_ordered() {
     let mut writers = vec![Some(server_end), None, None];
 
     let out: Vec<(ClientId, u64)> = (0..32u64).map(|i| (ClientId(0), i)).collect();
-    fan_out(&mut writers, &out).expect("fan out");
+    let mut pool = BufferPool::new();
+    fan_out(&mut writers, &out, |_| None, &mut pool).expect("fan out");
     drop(writers);
 
     let mut reader = FrameReader::new(client);
@@ -108,5 +116,46 @@ fn fan_out_single_destination_stays_sequential_and_ordered() {
             RtDown::Msg(v) => assert_eq!(v, i),
             RtDown::Stop => panic!("unexpected stop"),
         }
+    }
+}
+
+#[test]
+fn shared_payloads_encode_once_and_reach_every_client() {
+    // Broadcast semantics: N copies of the same logical message, keyed to
+    // one ShareId, must produce one encode and N byte-identical frames.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let mut reader_handles = Vec::new();
+    for c in 0..CLIENTS as u16 {
+        let stream = TcpStream::connect(addr).expect("connect");
+        reader_handles.push(std::thread::spawn(move || {
+            let mut reader = FrameReader::new(stream);
+            let v = match reader.read_msg::<RtDown<u64>>().expect("read frame") {
+                RtDown::Msg(v) => v,
+                RtDown::Stop => panic!("unexpected stop"),
+            };
+            (c, v)
+        }));
+    }
+    let mut writers: Vec<Option<TcpStream>> = Vec::new();
+    for _ in 0..CLIENTS {
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nodelay(true).expect("nodelay");
+        writers.push(Some(stream));
+    }
+
+    let out: Vec<(ClientId, u64)> = (0..CLIENTS as u16)
+        .map(|c| (ClientId(c), 0xFEED_u64))
+        .collect();
+    let mut pool = BufferPool::new();
+    fan_out(&mut writers, &out, |_| Some(ShareId::Gc(7)), &mut pool).expect("fan out");
+    drop(writers);
+
+    // One encode for the whole broadcast: exactly one buffer was drawn
+    // from the (empty) pool, and it came back for reuse.
+    assert_eq!(pool.misses(), 1, "broadcast should encode exactly once");
+    for h in reader_handles {
+        let (c, v) = h.join().expect("reader thread");
+        assert_eq!(v, 0xFEED, "client {c} got the wrong payload");
     }
 }

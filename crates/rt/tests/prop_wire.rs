@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
-use seve_rt::wire::{from_bytes, to_bytes};
+use seve_core::msg::{Item, Payload, Shared, ToClient, ToServer};
+use seve_rt::wire::{from_bytes, to_bytes, to_bytes_into, BufferPool};
 use seve_world::geometry::Vec2;
 use seve_world::ids::{ActionId, AttrId, ClientId, ObjectId};
 use seve_world::objset::ObjectSet;
@@ -37,6 +38,78 @@ fn value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::I64),
         any::<bool>().prop_map(Value::Bool),
         ((-1e6f64..1e6), (-1e6f64..1e6)).prop_map(|(x, y)| Value::Vec2(Vec2::new(x, y))),
+    ]
+}
+
+fn write_log() -> impl Strategy<Value = WriteLog> {
+    prop::collection::vec((0u32..100, 0u16..8, value()), 0..16).prop_map(|writes| {
+        let mut log = WriteLog::new();
+        for (o, a, v) in writes {
+            log.push(ObjectId(o), AttrId(a), v);
+        }
+        log
+    })
+}
+
+fn snapshot() -> impl Strategy<Value = Snapshot> {
+    prop::collection::vec(
+        (0u32..50, prop::collection::vec((0u16..6, value()), 0..4)),
+        0..6,
+    )
+    .prop_map(|objs| {
+        let mut snap = Snapshot::new();
+        for (id, attrs) in objs {
+            snap.push(
+                ObjectId(id),
+                WorldObject::from_attrs(attrs.into_iter().map(|(a, v)| (AttrId(a), v))),
+            );
+        }
+        snap
+    })
+}
+
+/// Arbitrary protocol messages downstream (server → client), with the
+/// synthetic recursive `Nested` standing in for the action type.
+fn to_client() -> impl Strategy<Value = ToClient<Nested>> {
+    let item = prop_oneof![
+        (1u64..1000, nested()).prop_map(|(pos, a)| Item {
+            pos,
+            payload: Payload::Action(Shared::new(a)),
+        }),
+        (1u64..1000, snapshot()).prop_map(|(pos, s)| Item {
+            pos,
+            payload: Payload::Blind(Shared::new(s)),
+        }),
+    ];
+    prop_oneof![
+        prop::collection::vec(item, 0..6).prop_map(|items| ToClient::Batch {
+            items: items.into(),
+        }),
+        (any::<u16>(), any::<u32>(), 1u64..1000).prop_map(|(c, s, pos)| ToClient::Dropped {
+            id: ActionId::new(ClientId(c), s),
+            pos,
+        }),
+        (1u64..1000).prop_map(|pos| ToClient::GcUpTo { pos }),
+    ]
+}
+
+/// Arbitrary protocol messages upstream (client → server).
+fn to_server() -> impl Strategy<Value = ToServer<Nested>> {
+    prop_oneof![
+        nested().prop_map(|action| ToServer::Submit { action }),
+        (
+            1u64..1000,
+            any::<u16>(),
+            any::<u32>(),
+            write_log(),
+            any::<bool>()
+        )
+            .prop_map(|(pos, c, s, writes, aborted)| ToServer::Completion {
+                pos,
+                id: ActionId::new(ClientId(c), s),
+                writes,
+                aborted,
+            }),
     ]
 }
 
@@ -104,5 +177,72 @@ proptest! {
         let _ = from_bytes::<Snapshot>(&bytes);
         let _ = from_bytes::<Vec<String>>(&bytes);
         let _ = from_bytes::<Nested>(&bytes);
+    }
+
+    /// Pooled / shared-payload encoding is byte-identical to the
+    /// `to_bytes` oracle for arbitrary protocol messages — including over
+    /// recycled (previously dirtied) pool buffers, and for `Shared`
+    /// payload clones (the broadcast fan-out path encodes the clone).
+    #[test]
+    fn pooled_encoding_matches_oracle(
+        down in prop::collection::vec(to_client(), 1..5),
+        up in prop::collection::vec(to_server(), 1..5),
+    ) {
+        let mut pool = BufferPool::new();
+        for msg in &down {
+            let oracle = to_bytes(msg).unwrap();
+            let mut buf = pool.take();
+            to_bytes_into(msg, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &oracle, "pooled ToClient encoding diverged");
+            pool.put(buf);
+            // An Arc-bumped clone is the exact message a shared-payload
+            // recipient gets; it must encode to the same bytes.
+            let mut buf = pool.take();
+            to_bytes_into(&msg.clone(), &mut buf).unwrap();
+            prop_assert_eq!(&buf, &oracle, "shared-clone encoding diverged");
+            pool.put(buf);
+        }
+        for msg in &up {
+            let oracle = to_bytes(msg).unwrap();
+            let mut buf = pool.take();
+            to_bytes_into(msg, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &oracle, "pooled ToServer encoding diverged");
+            pool.put(buf);
+        }
+        // Every take after the first recycled a dirty buffer.
+        prop_assert_eq!(pool.misses(), 1);
+    }
+
+    /// The decoder never panics, and a damaged frame — any strict prefix
+    /// of a valid encoding, or a valid encoding with trailing garbage —
+    /// always surfaces as an error, never as a silently wrong value.
+    #[test]
+    fn truncated_or_extended_frames_always_error(
+        down in to_client(),
+        up in to_server(),
+        cut in any::<u32>(),
+        tail in prop::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let down_bytes = to_bytes(&down).unwrap();
+        let up_bytes = to_bytes(&up).unwrap();
+        for (bytes, what) in [(&down_bytes, "ToClient"), (&up_bytes, "ToServer")] {
+            // Strict prefix: the decoder must come up short.
+            let cut = cut as usize % bytes.len();
+            let r = if what == "ToClient" {
+                from_bytes::<ToClient<Nested>>(&bytes[..cut]).map(|_| ())
+            } else {
+                from_bytes::<ToServer<Nested>>(&bytes[..cut]).map(|_| ())
+            };
+            prop_assert!(r.is_err(), "{} decoded from a truncated frame", what);
+            // Extension: trailing bytes must be rejected.
+            let mut extended = bytes.clone();
+            extended.extend_from_slice(&tail);
+            let r = if what == "ToClient" {
+                from_bytes::<ToClient<Nested>>(&extended).map(|_| ())
+            } else {
+                from_bytes::<ToServer<Nested>>(&extended).map(|_| ())
+            };
+            prop_assert!(r.is_err(), "{} decoded with trailing bytes", what);
+        }
     }
 }

@@ -114,6 +114,7 @@ fn run_tcp(world: Arc<ManhattanWorld>, cfg: ProtocolConfig, n: usize, moves: u32
         server_report.bytes_out,
         server_report.metrics.installed,
         server_report.committed_digest,
+        &server_report.metrics.stage,
         &oracle,
     );
 }
@@ -143,6 +144,7 @@ fn run_inproc(world: Arc<ManhattanWorld>, cfg: ProtocolConfig, n: usize, moves: 
         report.server.bytes_out,
         report.server.metrics.installed,
         report.server.committed_digest,
+        &report.server.metrics.stage,
         &oracle,
     );
 }
@@ -153,6 +155,7 @@ fn print_outcome(
     bytes_down: u64,
     installed: u64,
     committed_digest: Option<u64>,
+    stage: &seve::core::metrics::StageMetrics,
     oracle: &ConsistencyOracle,
 ) {
     println!("session complete:");
@@ -167,6 +170,14 @@ fn print_outcome(
         "  consistency: {} evaluations cross-checked, {} violations",
         oracle.records(),
         oracle.violations().len()
+    );
+    // Wall-clock stage profile with the wire-path counters (frames
+    // encoded vs reused, pool hits, writev batches) to stderr, keeping
+    // stdout byte-stable for scripted comparisons.
+    eprintln!();
+    eprint!(
+        "{}",
+        seve::driver::report::render_stage_profile("realnet", stage)
     );
     assert!(oracle.is_consistent(), "Theorem 1 over a real transport");
 }

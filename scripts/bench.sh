@@ -2,10 +2,12 @@
 # Perf harness for the push/closure hot paths.
 #
 # Runs the criterion routing benches (push_cycle + closure_micro +
-# replay_micro) and then the bench_push and bench_replay binaries: indexed
-# vs linear candidate selection, Algorithm 6 closures, a fixed Manhattan
-# People sweep, and out-of-order replay reconciliation, writing the medians
-# to BENCH_push.json / BENCH_replay.json at the repo root. See EXPERIMENTS.md.
+# replay_micro) and then the bench_push, bench_replay, and bench_wire
+# binaries: indexed vs linear candidate selection, Algorithm 6 closures, a
+# fixed Manhattan People sweep, out-of-order replay reconciliation, and the
+# encode-once egress path (pooled encode + shared-payload fan-out vs the
+# per-message oracle), writing the medians to BENCH_push.json /
+# BENCH_replay.json / BENCH_wire.json at the repo root. See EXPERIMENTS.md.
 #
 # Usage: scripts/bench.sh [--smoke]
 #   --smoke   seconds-scale subset, writes to temp files instead of
@@ -56,6 +58,33 @@ for r in sims:
 print("analyze_parallel ok:", rows)
 print("sim_scale ok:", sims)
 EOF
+    echo "== bench_wire --smoke =="
+    cargo run --release -p seve-bench --bin bench_wire -- \
+        --smoke --out target/BENCH_wire.smoke.json
+    echo "== wire-path smoke check =="
+    # bench_wire asserts in-process that the pooled encoding is
+    # byte-identical to the to_bytes oracle (including over recycled
+    # buffers) and that the pool stops allocating once warm. Here we
+    # require those flags were set, that the broadcast-heavy fixture
+    # actually shared frames, and that the pool served the steady state.
+    # (Wall-clock speedup is host-dependent — recorded in the JSON, never
+    # asserted in CI.)
+    python3 - <<'EOF'
+import json
+j = json.load(open("target/BENCH_wire.smoke.json"))
+assert j["meta"]["pooled_matches_oracle"] is True, "pooled bytes != oracle"
+assert j["meta"]["pool_steady_state_zero_alloc"] is True, \
+    "pool kept allocating after warm-up"
+fx = j["broadcast_fixture"]
+total = fx["frames_encoded"] + fx["frames_reused"]
+assert total > 0, "broadcast fixture emitted nothing"
+assert fx["reuse_ratio"] >= 0.5, \
+    f"broadcast fixture reused only {fx['reuse_ratio']:.0%} of frames"
+for r in j["push_cycle_egress"]:
+    assert r["pool_hits"] > 10 * r["pool_misses"], \
+        f"pool hits did not dominate at {r['clients']} clients: {r}"
+print("wire ok: reuse_ratio=%.2f," % fx["reuse_ratio"], j["push_cycle_egress"])
+EOF
     echo "== bench_replay --smoke =="
     cargo run --release -p seve-bench --bin bench_replay -- \
         --smoke --out target/BENCH_replay.smoke.json
@@ -92,3 +121,6 @@ cargo run --release -p seve-bench --bin bench_push -- --out BENCH_push.json
 
 echo "== bench_replay -> BENCH_replay.json =="
 cargo run --release -p seve-bench --bin bench_replay -- --out BENCH_replay.json
+
+echo "== bench_wire -> BENCH_wire.json =="
+cargo run --release -p seve-bench --bin bench_wire -- --out BENCH_wire.json
