@@ -141,8 +141,9 @@ pub struct StageMetrics {
     pub egress_msgs: u64,
     /// Messages whose wire payload was built fresh — one per distinct
     /// frame. Counted logically at the egress stage, so the split is
-    /// identical across {sim, inproc, tcp}; the TCP transport performs
-    /// exactly this many encodes.
+    /// identical across {sim, inproc, tcp}; the TCP transport performs at
+    /// most this many encodes (fewer when a recipient disconnected before
+    /// the drain, since frames addressed only to gone writers are skipped).
     pub frames_encoded: u64,
     /// Messages that shared an already-built payload (encode-once
     /// fan-out): span-cache hits and broadcast copies past the first.

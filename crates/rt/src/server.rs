@@ -281,10 +281,35 @@ pub fn fan_out<M: Serialize + Sync>(
     share_key: impl Fn(&M) -> Option<ShareId>,
     pool: &mut BufferPool,
 ) -> Result<(u64, u64), FrameError> {
-    // Phase 1: encode each distinct frame once; build per-lane frame lists
-    // (order preserved within each lane).
     let mut frames: Vec<Arc<Vec<u8>>> = Vec::with_capacity(out.len());
     let mut lanes: Vec<Vec<Arc<Vec<u8>>>> = (0..writers.len()).map(|_| Vec::new()).collect();
+    let result = encode_and_drain(writers, out, share_key, pool, &mut frames, &mut lanes);
+
+    // Recycle unconditionally — also when encode or drain bailed early —
+    // so buffers taken this batch are never leaked and the pool's miss
+    // counter stays truthful on the next one. The lane lists are done, so
+    // each buffer is back to a single reference.
+    drop(lanes);
+    for f in frames {
+        if let Ok(buf) = Arc::try_unwrap(f) {
+            pool.put(buf);
+        }
+    }
+    result
+}
+
+/// [`fan_out`]'s encode + drain phases, with the frame/lane lists owned by
+/// the caller so it can recycle them on both the `Ok` and `Err` paths.
+fn encode_and_drain<M: Serialize + Sync>(
+    writers: &mut [Option<TcpStream>],
+    out: &[(ClientId, M)],
+    share_key: impl Fn(&M) -> Option<ShareId>,
+    pool: &mut BufferPool,
+    frames: &mut Vec<Arc<Vec<u8>>>,
+    lanes: &mut [Vec<Arc<Vec<u8>>>],
+) -> Result<(u64, u64), FrameError> {
+    // Phase 1: encode each distinct frame once; build per-lane frame lists
+    // (order preserved within each lane).
     {
         // The cache lives only for this batch: the Arcs in `frames` keep
         // the pointed-to buffers alive, so a ShareId can never alias a
@@ -292,8 +317,15 @@ pub fn fan_out<M: Serialize + Sync>(
         let mut cache: HashMap<ShareId, Arc<Vec<u8>>> = HashMap::new();
         let encode = |msg: &M, pool: &mut BufferPool| -> Result<Arc<Vec<u8>>, FrameError> {
             let mut buf = pool.take();
-            encode_frame_into(&RtDownMsgRef(msg), &mut buf)?;
-            Ok(Arc::new(buf))
+            match encode_frame_into(&RtDownMsgRef(msg), &mut buf) {
+                Ok(()) => Ok(Arc::new(buf)),
+                Err(e) => {
+                    // Hand the partially-written buffer straight back so a
+                    // failed encode doesn't count as a leaked allocation.
+                    pool.put(buf);
+                    Err(e)
+                }
+            }
         };
         for (dest, msg) in out {
             if writers[dest.index()].is_none() {
@@ -322,7 +354,7 @@ pub fn fan_out<M: Serialize + Sync>(
     // Phase 2: drain each busy lane. The writer slice is partitioned into
     // disjoint `&mut` sockets, so workers cannot interleave on a stream.
     let busy = lanes.iter().filter(|l| !l.is_empty()).count();
-    let (bytes, batches) = if busy <= 1 {
+    if busy <= 1 {
         // Nothing to overlap: drain inline on this thread.
         let mut totals = (0u64, 0u64);
         for (w, lane) in writers.iter_mut().zip(lanes.iter()) {
@@ -330,7 +362,7 @@ pub fn fan_out<M: Serialize + Sync>(
                 totals = drain_lane(w, lane)?;
             }
         }
-        totals
+        Ok(totals)
     } else {
         let lane_refs: Vec<(&mut TcpStream, &[Arc<Vec<u8>>])> = writers
             .iter_mut()
@@ -348,7 +380,12 @@ pub fn fan_out<M: Serialize + Sync>(
                     let queue = &queue;
                     s.spawn(move |_| {
                         let mut totals = (0u64, 0u64);
-                        while let Some((w, lane)) = queue.lock().expect("lane queue").pop() {
+                        loop {
+                            // Pop into a local first: a `while let` scrutinee
+                            // would keep the MutexGuard alive across the
+                            // blocking drain below, serializing all workers.
+                            let job = queue.lock().expect("lane queue").pop();
+                            let Some((w, lane)) = job else { break };
                             let (b, k) = drain_lane(w, lane)?;
                             totals.0 += b;
                             totals.1 += k;
@@ -369,18 +406,8 @@ pub fn fan_out<M: Serialize + Sync>(
             totals.0 += b;
             totals.1 += k;
         }
-        totals
-    };
-
-    // Recycle: the lane lists are done, so each buffer is back to a single
-    // reference and returns to the pool for the next batch.
-    drop(lanes);
-    for f in frames {
-        if let Ok(buf) = Arc::try_unwrap(f) {
-            pool.put(buf);
-        }
+        Ok(totals)
     }
-    Ok((bytes, batches))
 }
 
 /// Drain one client's ordered frame list through vectored writes, chunked

@@ -103,12 +103,22 @@ pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, WireError> {
 /// *miss*; `put` clears the buffer but keeps its capacity. The hit/miss
 /// split feeds the `pool_hits` stage counter, which is how the smoke check
 /// asserts zero steady-state allocations.
+///
+/// The free list is bounded: at most [`MAX_POOLED`] buffers are retained,
+/// and a buffer grown past [`MAX_RETAINED`] bytes is freed instead of
+/// pooled, so a one-off burst of large or numerous frames can't pin that
+/// memory for the transport's lifetime.
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Vec<Vec<u8>>,
     hits: u64,
     misses: u64,
 }
+
+/// Most buffers [`BufferPool::put`] keeps on the free list.
+const MAX_POOLED: usize = 1024;
+/// Largest per-buffer capacity [`BufferPool::put`] retains.
+const MAX_RETAINED: usize = 1 << 20;
 
 impl BufferPool {
     /// An empty pool.
@@ -131,7 +141,11 @@ impl BufferPool {
     }
 
     /// Return a buffer to the pool, keeping its capacity for reuse.
+    /// Oversized buffers and overflow past the free-list cap are dropped.
     pub fn put(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() >= MAX_POOLED || buf.capacity() > MAX_RETAINED {
+            return;
+        }
         buf.clear();
         self.free.push(buf);
     }

@@ -120,6 +120,70 @@ fn fan_out_single_destination_stays_sequential_and_ordered() {
 }
 
 #[test]
+fn stalled_destination_does_not_block_other_lanes() {
+    // The drain queue's mutex must be released before a worker blocks in
+    // `write`: one destination that stops reading may occupy only its own
+    // worker while every other lane keeps draining. We stall client 2 by
+    // not reading it and shipping it far more bytes than loopback socket
+    // buffering absorbs, then require clients 0 and 1 to complete while
+    // the stalled write is still in flight.
+    const STALL_FRAMES: usize = 8;
+    const STALL_FRAME_BYTES: usize = 4 * 1024 * 1024;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let mut clients = Vec::new();
+    for _ in 0..3 {
+        clients.push(TcpStream::connect(addr).expect("connect"));
+    }
+    let mut writers: Vec<Option<TcpStream>> = Vec::new();
+    for _ in 0..3 {
+        let (stream, _) = listener.accept().expect("accept");
+        writers.push(Some(stream));
+    }
+
+    let mut out: Vec<(ClientId, Vec<u8>)> = vec![
+        (ClientId(0), vec![0xAA; 64]),
+        (ClientId(1), vec![0xBB; 64]),
+    ];
+    for _ in 0..STALL_FRAMES {
+        out.push((ClientId(2), vec![0xCC; STALL_FRAME_BYTES]));
+    }
+
+    let writer = std::thread::spawn(move || {
+        let mut pool = BufferPool::new();
+        let r = fan_out(&mut writers, &out, |_| None, &mut pool).expect("fan out");
+        drop(writers);
+        r
+    });
+
+    // If a worker still held the queue lock across its blocking write,
+    // these reads would starve; the timeout turns that hang into a loud
+    // failure instead.
+    for (c, byte) in [(0usize, 0xAAu8), (1, 0xBB)] {
+        clients[c]
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("set timeout");
+        let mut reader = FrameReader::new(clients[c].try_clone().expect("clone"));
+        match reader.read_msg::<RtDown<Vec<u8>>>().expect("read frame") {
+            RtDown::Msg(v) => assert_eq!(v, vec![byte; 64], "client {c} payload"),
+            RtDown::Stop => panic!("unexpected stop"),
+        }
+    }
+
+    // Only now unstall client 2 and let the fan-out finish.
+    let mut reader = FrameReader::new(clients.pop().unwrap());
+    for _ in 0..STALL_FRAMES {
+        match reader.read_msg::<RtDown<Vec<u8>>>().expect("read stalled frame") {
+            RtDown::Msg(v) => assert_eq!(v.len(), STALL_FRAME_BYTES),
+            RtDown::Stop => panic!("unexpected stop"),
+        }
+    }
+    let (bytes, _batches) = writer.join().expect("fan-out thread");
+    assert!(bytes as usize > STALL_FRAMES * STALL_FRAME_BYTES);
+}
+
+#[test]
 fn shared_payloads_encode_once_and_reach_every_client() {
     // Broadcast semantics: N copies of the same logical message, keyed to
     // one ShareId, must produce one encode and N byte-identical frames.
