@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [--quick] [--analyze-threads N]
+//! repro [--quick] [--analyze-threads N] [--exec-threads N]
 //!       [table1|fig6|fig7|fig8|fig9|fig10|table2|capacity|ablations|all]
 //! ```
 //!
@@ -25,6 +25,16 @@ fn main() {
             std::process::exit(2);
         };
         std::env::set_var("SEVE_ANALYZE_THREADS", n);
+        args.drain(i..=i + 1);
+    }
+    // `--exec-threads N` pins the persistent executor pool width the same
+    // way; every `PipelineState` resolves it at construction.
+    if let Some(i) = args.iter().position(|a| a == "--exec-threads") {
+        let Some(n) = args.get(i + 1).filter(|v| v.parse::<usize>().is_ok()) else {
+            eprintln!("--exec-threads needs a thread count");
+            std::process::exit(2);
+        };
+        std::env::set_var("SEVE_EXEC_THREADS", n);
         args.drain(i..=i + 1);
     }
     let what: Vec<&str> = args

@@ -18,7 +18,7 @@ use seve_world::GameWorld;
 use std::sync::Arc;
 
 #[allow(clippy::too_many_arguments)]
-fn check_selection_equivalence(
+fn run_selection(
     seed: u64,
     clients: usize,
     total: usize,
@@ -28,7 +28,8 @@ fn check_selection_equivalence(
     velocity_culling: bool,
     override_r: Option<f64>,
     drop_mask: &[bool],
-) -> Result<(), TestCaseError> {
+    exec_threads: usize,
+) -> (Vec<Vec<u64>>, Vec<Vec<u64>>) {
     let world = Arc::new(ManhattanWorld::new(ManhattanConfig {
         clients,
         walls: 0,
@@ -39,6 +40,7 @@ fn check_selection_equivalence(
         interest_filtering,
         velocity_culling,
         interest_radius_override: override_r,
+        exec_threads: Some(exec_threads),
         ..ProtocolConfig::with_mode(mode)
     };
     let mut st = PipelineState::new(world.clone(), cfg.clone());
@@ -83,8 +85,92 @@ fn check_selection_equivalence(
     let mut linear = Vec::new();
     routing.select_candidates_indexed(&st, now, horizon, &mut indexed);
     routing.select_candidates_linear(&st, now, horizon, &mut linear);
-    prop_assert_eq!(indexed, linear);
+    (indexed, linear)
+}
+
+/// Run the same workload across executor widths {1, 2, 8} and require the
+/// indexed selection to be bit-identical to the linear reference (and thus
+/// to itself) at every width. Width 1 runs fully inline with zero worker
+/// threads; the wider pools exercise the work-stealing path whenever the
+/// probe count clears the parallel gate.
+#[allow(clippy::too_many_arguments)]
+fn check_selection_equivalence(
+    seed: u64,
+    clients: usize,
+    total: usize,
+    split: usize,
+    mode: ServerMode,
+    interest_filtering: bool,
+    velocity_culling: bool,
+    override_r: Option<f64>,
+    drop_mask: &[bool],
+) -> Result<(), TestCaseError> {
+    let mut baseline: Option<Vec<Vec<u64>>> = None;
+    for exec_threads in [1usize, 2, 8] {
+        let (indexed, linear) = run_selection(
+            seed,
+            clients,
+            total,
+            split,
+            mode,
+            interest_filtering,
+            velocity_culling,
+            override_r,
+            drop_mask,
+            exec_threads,
+        );
+        prop_assert_eq!(
+            &indexed,
+            &linear,
+            "indexed selection diverged from the linear scan at pool width {}",
+            exec_threads
+        );
+        match &baseline {
+            None => baseline = Some(indexed),
+            Some(b) => prop_assert_eq!(
+                b,
+                &indexed,
+                "selection changed between pool width 1 and width {}",
+                exec_threads
+            ),
+        }
+    }
     Ok(())
+}
+
+/// Deterministic above-gate case: enough undelivered entries (> the
+/// `PAR_MIN_PROBES = 192` gate seed) that the multi-lane pools take the
+/// parallel chunked path, not the inline fallback — then the result must
+/// still match the linear scan and the width-1 run exactly.
+#[test]
+fn parallel_selection_above_gate_matches_sequential() {
+    let drop_mask = vec![false; 0];
+    let mut baseline: Option<Vec<Vec<u64>>> = None;
+    for exec_threads in [1usize, 2, 8] {
+        let (indexed, linear) = run_selection(
+            0x5EED,
+            32,
+            400,
+            0,
+            ServerMode::InfoBound,
+            true,
+            true,
+            None,
+            &drop_mask,
+            exec_threads,
+        );
+        assert_eq!(
+            indexed, linear,
+            "indexed selection diverged from linear at pool width {exec_threads}"
+        );
+        match &baseline {
+            None => baseline = Some(indexed),
+            Some(b) => assert_eq!(
+                b, &indexed,
+                "selection changed between pool width 1 and width {exec_threads}"
+            ),
+        }
+    }
 }
 
 proptest! {

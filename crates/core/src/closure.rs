@@ -888,24 +888,33 @@ fn chain_walk<A: Action>(
     }
 }
 
+/// One analyze worker's unit of work on the persistent executor: walks its
+/// round-robin share of components and returns the verdicts plus the
+/// worker's busy time in nanoseconds.
+type AnalyzeTask<'a> = Box<dyn FnOnce() -> (Vec<Verdict>, u64) + Send + 'a>;
+
 /// [`analyze_new_actions`] with footprint-disjoint batching: partition the
 /// new actions into read-overlap components and walk independent
-/// components on up to `threads` crossbeam scoped workers, merging the
-/// per-action verdicts back into position order. Bit-identical to the
-/// sequential oracle — same `dropped` (decided and marked in position
-/// order), `chain_lens`, `scanned`, and `visited` — because components
-/// are a valid refinement of the walks' dependencies (see
-/// [`AnalyzeScratch::partition`]) and each component is processed in
-/// position order within one worker.
+/// components as up to `threads` tasks on the persistent executor `exec`,
+/// merging the per-action verdicts back into position order. Bit-identical
+/// to the sequential oracle — same `dropped` (decided and marked in
+/// position order), `chain_lens`, `scanned`, and `visited` — because
+/// components are a valid refinement of the walks' dependencies (see
+/// [`AnalyzeScratch::partition`]), each component is processed in position
+/// order within one task, and the executor returns task outputs in
+/// submission order. The executor's width is a scheduling detail only: a
+/// width-1 pool runs the same tasks inline on the caller.
 ///
 /// `threads ≤ 1` runs the same verdict/overlay machinery sequentially
-/// (no partition) on the scratch buffers; callers gate on batch size.
+/// (no partition, no executor submission) on the scratch buffers; callers
+/// gate on batch size.
 pub fn analyze_new_actions_batched<A: Action>(
     queue: &mut ActionQueue<A>,
     from: QueuePos,
     threshold: f64,
     threads: usize,
     scratch: &mut AnalyzeScratch,
+    exec: &seve_exec::Executor,
 ) -> DropAnalysis {
     let mut result = DropAnalysis {
         par_workers: 1,
@@ -965,45 +974,42 @@ pub fn analyze_new_actions_batched<A: Action>(
         let entries_ref: &VecDeque<QueueEntry<A>> = entries;
         let index_ref: &PostingsMap = index;
         // Components round-robin across workers: deterministic assignment,
-        // and adjacent (similar-sized) components spread evenly.
-        let outputs = crossbeam::thread::scope(|sc| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    sc.spawn(move |_| {
-                        let t0 = std::time::Instant::now();
-                        let mut verdicts = Vec::new();
-                        let mut support = ObjectSet::new();
-                        let mut local_drops: Vec<QueuePos> = Vec::new();
-                        let mut frontier = Frontier::new(index_ref);
-                        for comp in members.iter().skip(w).step_by(workers) {
-                            local_drops.clear();
-                            for &pos in comp {
-                                let v = chain_walk(
-                                    entries_ref,
-                                    first,
-                                    pos,
-                                    threshold,
-                                    debug_drops,
-                                    &mut support,
-                                    &mut frontier,
-                                    &local_drops,
-                                );
-                                if v.invalid {
-                                    local_drops.push(pos);
-                                }
-                                verdicts.push(v);
+        // and adjacent (similar-sized) components spread evenly. Tasks run
+        // on the server's persistent pool — no thread spawn per tick — and
+        // come back in submission order.
+        let tasks: Vec<AnalyzeTask<'_>> = (0..workers)
+            .map(|w| {
+                let task: AnalyzeTask<'_> = Box::new(move || {
+                    let t0 = std::time::Instant::now();
+                    let mut verdicts = Vec::new();
+                    let mut support = ObjectSet::new();
+                    let mut local_drops: Vec<QueuePos> = Vec::new();
+                    let mut frontier = Frontier::new(index_ref);
+                    for comp in members.iter().skip(w).step_by(workers) {
+                        local_drops.clear();
+                        for &pos in comp {
+                            let v = chain_walk(
+                                entries_ref,
+                                first,
+                                pos,
+                                threshold,
+                                debug_drops,
+                                &mut support,
+                                &mut frontier,
+                                &local_drops,
+                            );
+                            if v.invalid {
+                                local_drops.push(pos);
                             }
+                            verdicts.push(v);
                         }
-                        (verdicts, t0.elapsed().as_nanos() as u64)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("analysis worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("scoped analysis threads");
+                    }
+                    (verdicts, t0.elapsed().as_nanos() as u64)
+                });
+                task
+            })
+            .collect();
+        let outputs = exec.run(tasks).expect("analysis worker panicked");
         for (verdicts, busy) in outputs {
             result.worker_busy_nanos += busy;
             scratch.verdicts.extend(verdicts);
@@ -1468,10 +1474,11 @@ mod tests {
         };
         let mut oracle_q = build();
         let oracle = analyze_new_actions(&mut oracle_q, 1, 50.0);
+        let exec = seve_exec::Executor::new(2);
         for threads in [1, 4] {
             let mut q = build();
             let mut scratch = AnalyzeScratch::new();
-            let r = analyze_new_actions_batched(&mut q, 1, 50.0, threads, &mut scratch);
+            let r = analyze_new_actions_batched(&mut q, 1, 50.0, threads, &mut scratch, &exec);
             assert_eq!(r.dropped, oracle.dropped, "threads={threads}");
             assert_eq!(r.chain_lens, oracle.chain_lens, "threads={threads}");
             assert_eq!(r.scanned, oracle.scanned, "threads={threads}");

@@ -179,6 +179,20 @@ pub struct StageMetrics {
     /// Summed wall-clock busy nanoseconds across analyze workers
     /// (utilization = busy / (parallel-tick wall time × workers)).
     pub analyze_worker_busy_nanos: u64,
+    /// Resolved lane count of the persistent compute executor
+    /// (configuration echoed into the profile; 1 = fully inline).
+    pub exec_width: u64,
+    /// Tasks the executor ran (compute pool + the transport's drain pool
+    /// where one exists; transport counters merge in at report time).
+    pub exec_tasks: u64,
+    /// Tasks a lane took from a queue it does not own — work the
+    /// stealing mechanism actually rebalanced.
+    pub exec_steals: u64,
+    /// Summed wall-clock nanoseconds executor lanes spent inside tasks.
+    pub exec_busy_nanos: u64,
+    /// High-water mark of tasks queued on the executor and not yet
+    /// picked up.
+    pub exec_queue_hwm: u64,
 }
 
 /// Per-server metrics.
@@ -246,6 +260,11 @@ mod tests {
         assert_eq!(s.stage.analyze_parallel_ticks, 0);
         assert_eq!(s.stage.analyze_max_batch, 0);
         assert_eq!(s.stage.analyze_worker_busy_nanos, 0);
+        assert_eq!(s.stage.exec_width, 0);
+        assert_eq!(s.stage.exec_tasks, 0);
+        assert_eq!(s.stage.exec_steals, 0);
+        assert_eq!(s.stage.exec_busy_nanos, 0);
+        assert_eq!(s.stage.exec_queue_hwm, 0);
     }
 
     #[test]

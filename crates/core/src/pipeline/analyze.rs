@@ -24,9 +24,12 @@ use seve_world::ids::{ClientId, QueuePos};
 use seve_world::{Action, GameWorld};
 use std::time::Instant;
 
-/// Minimum new actions in a tick before the analysis fans out to worker
-/// threads (same gating idiom as the route stage's `PAR_MIN_PROBES`):
-/// below this, thread spawn overhead beats the win.
+/// Seed for the analyze stage's adaptive parallel gate: the historical
+/// static "fan out above this many new actions per tick" constant. The
+/// gate self-tunes around it from measured sequential vs. parallel cost
+/// (see [`seve_exec::AdaptiveGate`]); pin with `SEVE_PAR_MIN_ACTIONS` or
+/// disable adaptation via `ProtocolConfig::adaptive_gates` to hold it
+/// static.
 const PAR_MIN_ACTIONS: usize = 64;
 
 /// Compute the transitive support (Algorithm 6) for `candidates` on behalf
@@ -88,12 +91,19 @@ impl<W: GameWorld> DropPolicy<W> for NoDrop {}
 pub struct ChainBreak {
     /// Every position at or below this has passed Algorithm 7 analysis.
     analyzed_upto: QueuePos,
+    /// Self-tuning "parallelize above N actions" gate, seeded with the
+    /// historical [`PAR_MIN_ACTIONS`]. Chooses the execution strategy
+    /// only; verdicts are bit-identical either way.
+    gate: seve_exec::AdaptiveGate,
 }
 
 impl ChainBreak {
     /// A fresh analyzer.
     pub fn new() -> Self {
-        Self { analyzed_upto: 0 }
+        Self {
+            analyzed_upto: 0,
+            gate: seve_exec::AdaptiveGate::new(PAR_MIN_ACTIONS, "SEVE_PAR_MIN_ACTIONS"),
+        }
     }
 }
 
@@ -120,7 +130,9 @@ impl<W: GameWorld> DropPolicy<W> for ChainBreak {
             .last_pos()
             .map_or(0, |l| l + 1)
             .saturating_sub(from)) as usize;
-        let threads = if batch >= PAR_MIN_ACTIONS {
+        let width = st.exec.width();
+        let adaptive = st.cfg.adaptive_gates;
+        let threads = if batch >= self.gate.threshold(width, adaptive) {
             st.analyze_threads
         } else {
             1
@@ -129,10 +141,33 @@ impl<W: GameWorld> DropPolicy<W> for ChainBreak {
             ref mut queue,
             ref mut analyze_scratch,
             ref cfg,
+            ref exec,
             ..
         } = *st;
-        let analysis =
-            analyze_new_actions_batched(queue, from, cfg.threshold, threads, analyze_scratch);
+        let t0 = Instant::now();
+        let analysis = analyze_new_actions_batched(
+            queue,
+            from,
+            cfg.threshold,
+            threads,
+            analyze_scratch,
+            exec.as_ref(),
+        );
+        // Feed the gate the measurement it needs for the strategy it ran:
+        // parallel runs yield both the overhead (wall − busy/width) and a
+        // per-item cost estimate (busy/n); sequential runs refresh the
+        // per-item cost directly.
+        let gate_wall = t0.elapsed().as_nanos() as u64;
+        if analysis.par_workers > 1 {
+            self.gate.record_par(
+                batch,
+                gate_wall,
+                analysis.worker_busy_nanos,
+                width.min(analysis.par_workers),
+            );
+        } else if batch > 0 {
+            self.gate.record_seq(batch, gate_wall);
+        }
         st.metrics.stage.analyze_entries_visited += analysis.visited as u64;
         st.metrics.stage.analyze_entries_linear += analysis.scanned as u64;
         if analysis.par_workers > 1 {

@@ -244,6 +244,12 @@ pub struct SphereRouting {
     grid: UniformGrid<ClientId>,
     /// Reusable per-client candidate buffers for the push cycle.
     scratch: Vec<Vec<QueuePos>>,
+    /// Self-tuning "parallelize above N probes" gate, seeded with the
+    /// historical [`PAR_MIN_PROBES`]. Atomic internals: selection takes
+    /// `&self`, so the gate records its measurements through shared
+    /// references. Strategy choice only — selections are bit-identical
+    /// either way.
+    gate: seve_exec::AdaptiveGate,
 }
 
 /// Per-entry probe prepared once per push cycle: the entry itself plus the
@@ -258,9 +264,18 @@ struct Probe<'q, A> {
     radius: f64,
 }
 
-/// Window length (in probes) below which parallel selection isn't worth the
-/// thread hand-off; measured crossover is well above this on small queues.
+/// Seed for the route stage's adaptive parallel gate: the historical
+/// static "fan out above this many probes" constant. The gate self-tunes
+/// around it from measured sequential vs. parallel cost (see
+/// [`seve_exec::AdaptiveGate`]); pin with `SEVE_PAR_MIN_PROBES` or
+/// disable adaptation via `ProtocolConfig::adaptive_gates` to hold it
+/// static.
 const PAR_MIN_PROBES: usize = 192;
+
+/// One selection worker's unit of work on the persistent executor: filters
+/// a contiguous probe chunk and returns its `(client, position)` hits plus
+/// the worker's busy time in nanoseconds.
+type SelectTask<'a> = Box<dyn FnOnce() -> (Vec<(ClientId, QueuePos)>, u64) + Send + 'a>;
 
 impl SphereRouting {
     /// Routing over `world` under `cfg`.
@@ -321,6 +336,7 @@ impl SphereRouting {
             params,
             grid,
             scratch: Vec::new(),
+            gate: seve_exec::AdaptiveGate::new(PAR_MIN_PROBES, "SEVE_PAR_MIN_PROBES"),
         }
     }
 
@@ -440,15 +456,13 @@ impl SphereRouting {
             });
         }
         // Selection phase: grid query + exact filters per probe, fanned
-        // across scoped workers when the window is large. Each worker owns
-        // a contiguous probe chunk, so concatenating chunk outputs keeps
+        // across the server's persistent executor when the window is
+        // large. Each task owns a contiguous probe chunk and results come
+        // back in submission order, so concatenating chunk outputs keeps
         // hits in ascending position order per client.
-        let threads = if probes.len() >= PAR_MIN_PROBES {
-            std::thread::available_parallelism()
-                .map(|t| t.get())
-                .unwrap_or(1)
-                .min(8)
-                .min(probes.len())
+        let width = st.exec.width();
+        let threads = if probes.len() >= self.gate.threshold(width, st.cfg.adaptive_gates) {
+            width.min(8).min(probes.len())
         } else {
             1
         };
@@ -483,28 +497,43 @@ impl SphereRouting {
             }
             hits
         };
+        let t0 = std::time::Instant::now();
         if threads <= 1 {
             for (c, pos) in select_chunk(&probes) {
                 cands[c.index()].push(pos);
             }
+            if !probes.is_empty() {
+                self.gate
+                    .record_seq(probes.len(), t0.elapsed().as_nanos() as u64);
+            }
         } else {
             let chunk_len = probes.len().div_ceil(threads);
-            let chunks: Vec<&[Probe<'_, W::Action>]> = probes.chunks(chunk_len).collect();
-            let results = std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| s.spawn(|| select_chunk(chunk)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("selection worker panicked"))
-                    .collect::<Vec<_>>()
-            });
-            for hits in results {
+            let select_chunk = &select_chunk;
+            let tasks: Vec<SelectTask<'_>> = probes
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let task: SelectTask<'_> = Box::new(move || {
+                        let t = std::time::Instant::now();
+                        let hits = select_chunk(chunk);
+                        (hits, t.elapsed().as_nanos() as u64)
+                    });
+                    task
+                })
+                .collect();
+            let results = st.exec.run(tasks).expect("selection worker panicked");
+            let mut busy = 0u64;
+            for (hits, task_busy) in results {
+                busy += task_busy;
                 for (c, pos) in hits {
                     cands[c.index()].push(pos);
                 }
             }
+            self.gate.record_par(
+                probes.len(),
+                t0.elapsed().as_nanos() as u64,
+                busy,
+                width.min(threads),
+            );
         }
     }
 }

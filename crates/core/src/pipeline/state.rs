@@ -50,6 +50,13 @@ pub struct PipelineState<W: GameWorld> {
     pub analyze_threads: usize,
     /// Reusable analyze-stage buffers, cleared (not freed) between ticks.
     pub(crate) analyze_scratch: AnalyzeScratch,
+    /// The server's persistent compute executor: every per-tick parallel
+    /// stage (batch analysis, push candidate selection) submits its tasks
+    /// here instead of spawning threads. Width resolves once at
+    /// construction (config → `SEVE_EXEC_THREADS` → available
+    /// parallelism); width 1 spawns no threads and runs submissions
+    /// inline. Protocol outcomes are independent of the width.
+    pub exec: Arc<seve_exec::Executor>,
 }
 
 /// Resolve the analyze-thread budget: an explicit config value wins, then
@@ -75,8 +82,12 @@ impl<W: GameWorld> PipelineState<W> {
     pub fn new(world: Arc<W>, cfg: ProtocolConfig) -> Self {
         let n = world.num_clients();
         let analyze_threads = resolve_analyze_threads(cfg.analyze_threads);
+        let exec = Arc::new(seve_exec::Executor::new(seve_exec::resolve_width(
+            cfg.exec_threads,
+        )));
         let mut metrics = ServerMetrics::default();
         metrics.stage.analyze_threads = analyze_threads as u64;
+        metrics.stage.exec_width = exec.width() as u64;
         Self {
             zeta_s: world.initial_state(),
             last_committed: 0,
@@ -88,9 +99,21 @@ impl<W: GameWorld> PipelineState<W> {
             admitted: HashSet::new(),
             analyze_threads,
             analyze_scratch: AnalyzeScratch::new(),
+            exec,
             world,
             cfg,
         }
+    }
+
+    /// Fold the executor's lifetime counters into the stage metrics.
+    /// Counters are monotonic, so overwriting with the latest snapshot is
+    /// exact; called whenever the metrics are about to be observed.
+    pub fn sync_exec_stats(&mut self) {
+        let s = self.exec.stats();
+        self.metrics.stage.exec_tasks = s.tasks;
+        self.metrics.stage.exec_steals = s.steals;
+        self.metrics.stage.exec_busy_nanos = s.busy_nanos;
+        self.metrics.stage.exec_queue_hwm = s.queue_hwm;
     }
 
     /// Number of participating clients.

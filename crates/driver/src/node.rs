@@ -166,6 +166,13 @@ impl NodeDriver {
         let mut metrics = engine.metrics().clone();
         metrics.stage.pool_hits += wire.pool_hits;
         metrics.stage.writev_batches += wire.writev_batches;
+        // The transport's drain pool is a second executor alongside the
+        // engine's compute pool; its counters add into the same profile
+        // fields (both are host-side scheduling diagnostics).
+        metrics.stage.exec_tasks += wire.exec_tasks;
+        metrics.stage.exec_steals += wire.exec_steals;
+        metrics.stage.exec_busy_nanos += wire.exec_busy_nanos;
+        metrics.stage.exec_queue_hwm = metrics.stage.exec_queue_hwm.max(wire.exec_queue_hwm);
         Ok(ServerReport {
             metrics,
             committed_digest: engine.committed().map(|s| s.digest()),

@@ -186,6 +186,20 @@ pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
             stage.analyze_worker_busy_nanos as f64 / 1e6,
         );
     }
+    // Executor counters appear once the persistent pool has actually run
+    // tasks; idle runs (and pre-pool fixtures) keep the profile unchanged.
+    if stage.exec_tasks > 0 {
+        let _ = writeln!(
+            out,
+            "  executor: width {}, {} tasks, {} steals, busy {:.3} ms, \
+             queue high-water {}",
+            stage.exec_width.max(1),
+            stage.exec_tasks,
+            stage.exec_steals,
+            stage.exec_busy_nanos as f64 / 1e6,
+            stage.exec_queue_hwm,
+        );
+    }
     out
 }
 
@@ -254,6 +268,10 @@ mod tests {
             !text.contains("analyze batching"),
             "batching line only when parallel ticks ran"
         );
+        assert!(
+            !text.contains("executor:"),
+            "executor line only when the pool ran tasks"
+        );
 
         stage.analyze_threads = 4;
         stage.analyze_parallel_ticks = 2;
@@ -265,6 +283,19 @@ mod tests {
         assert!(text.contains("2 parallel ticks, 5.0 components/tick"));
         assert!(text.contains("max batch 17"));
         assert!(text.contains("workers busy 4.000 ms"));
+
+        stage.exec_width = 2;
+        stage.exec_tasks = 12;
+        stage.exec_steals = 3;
+        stage.exec_busy_nanos = 2_500_000;
+        stage.exec_queue_hwm = 5;
+        let text = render_stage_profile("SEVE @ 8 clients", &stage);
+        assert!(
+            text.contains(
+                "executor: width 2, 12 tasks, 3 steals, busy 2.500 ms, queue high-water 5"
+            ),
+            "executor line missing or malformed"
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct CommonOpts {
     pub rtt_ms: u64,
     /// Analyze-stage worker threads (`None` = env/auto, `1` = sequential).
     pub analyze_threads: Option<usize>,
+    /// Executor pool width (`None` = `SEVE_EXEC_THREADS`/auto, `1` = a
+    /// fully inline pool with no worker threads).
+    pub exec_threads: Option<usize>,
     /// Remaining positional arguments.
     pub rest: Vec<String>,
 }
@@ -35,14 +38,15 @@ impl Default for CommonOpts {
             mode: ServerMode::InfoBound,
             rtt_ms: 40,
             analyze_threads: None,
+            exec_threads: None,
             rest: Vec::new(),
         }
     }
 }
 
 /// Parse `--clients N --walls N --seed N --mode basic|incomplete|
-/// first-bound|info-bound --rtt MS --analyze-threads N` plus positionals
-/// from `args`.
+/// first-bound|info-bound --rtt MS --analyze-threads N --exec-threads N`
+/// plus positionals from `args`.
 pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonOpts, String> {
     let mut opts = CommonOpts::default();
     let mut it = args.peekable();
@@ -72,6 +76,13 @@ pub fn parse_common(args: impl Iterator<Item = String>) -> Result<CommonOpts, St
                     grab("--analyze-threads")?
                         .parse()
                         .map_err(|e| format!("--analyze-threads: {e}"))?,
+                )
+            }
+            "--exec-threads" => {
+                opts.exec_threads = Some(
+                    grab("--exec-threads")?
+                        .parse()
+                        .map_err(|e| format!("--exec-threads: {e}"))?,
                 )
             }
             "--mode" => {
@@ -111,6 +122,7 @@ pub fn build_protocol(opts: &CommonOpts) -> ProtocolConfig {
     cfg.rtt = SimDuration::from_ms(opts.rtt_ms);
     cfg.tick = SimDuration::from_ms((opts.rtt_ms / 4).max(2));
     cfg.analyze_threads = opts.analyze_threads;
+    cfg.exec_threads = opts.exec_threads;
     cfg
 }
 
@@ -135,6 +147,8 @@ mod tests {
             "100",
             "--analyze-threads",
             "4",
+            "--exec-threads",
+            "2",
             "extra",
         ])
         .unwrap();
@@ -142,8 +156,11 @@ mod tests {
         assert_eq!(o.mode, ServerMode::Incomplete);
         assert_eq!(o.rtt_ms, 100);
         assert_eq!(o.analyze_threads, Some(4));
+        assert_eq!(o.exec_threads, Some(2));
         assert_eq!(o.rest, vec!["extra".to_string()]);
-        assert_eq!(build_protocol(&o).analyze_threads, Some(4));
+        let cfg = build_protocol(&o);
+        assert_eq!(cfg.analyze_threads, Some(4));
+        assert_eq!(cfg.exec_threads, Some(2));
     }
 
     #[test]
@@ -152,6 +169,7 @@ mod tests {
         assert!(parse(&["--clients", "x"]).is_err());
         assert!(parse(&["--mode", "zoned"]).is_err());
         assert!(parse(&["--analyze-threads", "many"]).is_err());
+        assert!(parse(&["--exec-threads", "many"]).is_err());
     }
 
     #[test]

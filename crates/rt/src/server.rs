@@ -84,6 +84,12 @@ pub struct TcpServerTransport<U, D> {
     /// Recycled encode buffers: after warm-up, every frame encodes into a
     /// buffer from a previous batch instead of a fresh allocation.
     pool: BufferPool,
+    /// Persistent pool draining egress lanes. Separate from the engine's
+    /// compute executor by design: drain tasks block in socket `write`,
+    /// and lanes stalled on a slow client must never occupy the lanes the
+    /// analyze/route stages compute on. Sized by [`drain_workers`] (at
+    /// least 4 even on one core — these lanes wait on I/O, not CPU).
+    drain_pool: seve_exec::Executor,
     writev_batches: u64,
     _down: PhantomData<D>,
 }
@@ -101,7 +107,13 @@ impl<U, D: Serialize + ShareKey + Sync> ServerTransport<U, D> for TcpServerTrans
     }
 
     fn send_batch(&mut self, out: &[(ClientId, D)]) -> Result<u64, FrameError> {
-        let (bytes, batches) = fan_out(&mut self.writers, out, D::share_key, &mut self.pool)?;
+        let (bytes, batches) = fan_out(
+            &mut self.writers,
+            out,
+            D::share_key,
+            &mut self.pool,
+            &self.drain_pool,
+        )?;
         self.writev_batches += batches;
         Ok(bytes)
     }
@@ -115,10 +127,15 @@ impl<U, D: Serialize + ShareKey + Sync> ServerTransport<U, D> for TcpServerTrans
     }
 
     fn egress_stats(&self) -> EgressStats {
+        let exec = self.drain_pool.stats();
         EgressStats {
             pool_hits: self.pool.hits(),
             pool_misses: self.pool.misses(),
             writev_batches: self.writev_batches,
+            exec_tasks: exec.tasks,
+            exec_steals: exec.steals,
+            exec_busy_nanos: exec.busy_nanos,
+            exec_queue_hwm: exec.queue_hwm,
         }
     }
 }
@@ -220,6 +237,7 @@ where
         rx,
         writers,
         pool: BufferPool::new(),
+        drain_pool: seve_exec::Executor::new(drain_workers()),
         writev_batches: 0,
         _down: PhantomData,
     };
@@ -240,14 +258,20 @@ where
 /// itself starts costing.
 const WRITEV_MAX_FRAMES: usize = 64;
 
-/// Cap on concurrent drain workers: a few per core covers sockets blocked
-/// in `write` without paying a thread spawn per destination per cycle.
+/// Width of the persistent drain pool: a few lanes per core covers
+/// sockets blocked in `write`, floored at 4 so stall isolation holds even
+/// on a single-core host (drain lanes wait on I/O, not CPU).
 fn drain_workers() -> usize {
     static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *WORKERS.get_or_init(|| {
         std::thread::available_parallelism().map_or(4, |p| (p.get() * 2).clamp(4, 16))
     })
 }
+
+/// One drain worker's unit of work on the persistent pool: pulls whole
+/// lanes from the shared queue and returns `(bytes written, writev
+/// batches)` or the first socket error it hit.
+type DrainTask<'a> = Box<dyn FnOnce() -> Result<(u64, u64), FrameError> + Send + 'a>;
 
 /// Write one engine step's outbound batch to the client sockets, returning
 /// `(bytes written, vectored-write batches issued)`.
@@ -264,11 +288,11 @@ fn drain_workers() -> usize {
 ///    frame per message, identical to the per-message `write_msg` path.
 /// 2. **Drain.** Each busy destination's ordered frame list is written by
 ///    exactly one worker through `write_vectored` in chunks of up to
-///    [`WRITEV_MAX_FRAMES`] frames. Scoped workers — capped at
-///    [`drain_workers`], not one per client — pull whole lanes from a
-///    shared queue, so a fleet-sized broadcast costs a handful of thread
-///    spawns instead of one per destination, while a destination stalled
-///    in `write` occupies only its worker and the rest keep draining.
+///    [`WRITEV_MAX_FRAMES`] frames. Worker tasks — capped at the drain
+///    pool's width, not one per client — run on `exec`, the transport's
+///    *persistent* drain pool (zero thread spawns per cycle), and pull
+///    whole lanes from a shared queue, while a destination stalled in
+///    `write` occupies only its task's lane and the rest keep draining.
 ///    One lane never splits across workers and successive `fan_out`
 ///    calls are sequential, so per-client FIFO delivery (the ordering
 ///    contract the replay log depends on) is preserved.
@@ -280,10 +304,11 @@ pub fn fan_out<M: Serialize + Sync>(
     out: &[(ClientId, M)],
     share_key: impl Fn(&M) -> Option<ShareId>,
     pool: &mut BufferPool,
+    exec: &seve_exec::Executor,
 ) -> Result<(u64, u64), FrameError> {
     let mut frames: Vec<Arc<Vec<u8>>> = Vec::with_capacity(out.len());
     let mut lanes: Vec<Vec<Arc<Vec<u8>>>> = (0..writers.len()).map(|_| Vec::new()).collect();
-    let result = encode_and_drain(writers, out, share_key, pool, &mut frames, &mut lanes);
+    let result = encode_and_drain(writers, out, share_key, pool, exec, &mut frames, &mut lanes);
 
     // Recycle unconditionally — also when encode or drain bailed early —
     // so buffers taken this batch are never leaked and the pool's miss
@@ -305,6 +330,7 @@ fn encode_and_drain<M: Serialize + Sync>(
     out: &[(ClientId, M)],
     share_key: impl Fn(&M) -> Option<ShareId>,
     pool: &mut BufferPool,
+    exec: &seve_exec::Executor,
     frames: &mut Vec<Arc<Vec<u8>>>,
     lanes: &mut [Vec<Arc<Vec<u8>>>],
 ) -> Result<(u64, u64), FrameError> {
@@ -372,34 +398,29 @@ fn encode_and_drain<M: Serialize + Sync>(
                 _ => None,
             })
             .collect();
-        let workers = lane_refs.len().min(drain_workers());
+        let workers = lane_refs.len().min(exec.width());
         let queue = std::sync::Mutex::new(lane_refs);
-        let results = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let queue = &queue;
-                    s.spawn(move |_| {
-                        let mut totals = (0u64, 0u64);
-                        loop {
-                            // Pop into a local first: a `while let` scrutinee
-                            // would keep the MutexGuard alive across the
-                            // blocking drain below, serializing all workers.
-                            let job = queue.lock().expect("lane queue").pop();
-                            let Some((w, lane)) = job else { break };
-                            let (b, k) = drain_lane(w, lane)?;
-                            totals.0 += b;
-                            totals.1 += k;
-                        }
-                        Ok::<_, FrameError>(totals)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("fan-out worker panicked"))
-                .collect::<Vec<_>>()
-        })
-        .expect("fan-out scope panicked");
+        let tasks: Vec<DrainTask<'_>> = (0..workers)
+            .map(|_| {
+                let queue = &queue;
+                let task: DrainTask<'_> = Box::new(move || {
+                    let mut totals = (0u64, 0u64);
+                    loop {
+                        // Pop into a local first: a `while let` scrutinee
+                        // would keep the MutexGuard alive across the
+                        // blocking drain below, serializing all workers.
+                        let job = queue.lock().expect("lane queue").pop();
+                        let Some((w, lane)) = job else { break };
+                        let (b, k) = drain_lane(w, lane)?;
+                        totals.0 += b;
+                        totals.1 += k;
+                    }
+                    Ok(totals)
+                });
+                task
+            })
+            .collect();
+        let results = exec.run(tasks).expect("fan-out worker panicked");
         let mut totals = (0u64, 0u64);
         for r in results {
             let (b, k) = r?;

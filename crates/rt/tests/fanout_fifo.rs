@@ -59,6 +59,7 @@ fn fan_out_preserves_per_client_fifo_order() {
     let mut seqs = [0u32; CLIENTS];
     let mut total_bytes = 0u64;
     let mut pool = BufferPool::new();
+    let exec = seve_exec::Executor::new(4);
     for _ in 0..FLUSHES {
         let mut out: Vec<(ClientId, u64)> = Vec::new();
         for round in 0..PER_CLIENT_PER_FLUSH {
@@ -69,7 +70,8 @@ fn fan_out_preserves_per_client_fifo_order() {
                 seqs[c as usize] += 1;
             }
         }
-        let (bytes, _batches) = fan_out(&mut writers, &out, |_| None, &mut pool).expect("fan out");
+        let (bytes, _batches) =
+            fan_out(&mut writers, &out, |_| None, &mut pool, &exec).expect("fan out");
         total_bytes += bytes;
     }
     assert!(total_bytes > 0);
@@ -107,7 +109,8 @@ fn fan_out_single_destination_stays_sequential_and_ordered() {
 
     let out: Vec<(ClientId, u64)> = (0..32u64).map(|i| (ClientId(0), i)).collect();
     let mut pool = BufferPool::new();
-    fan_out(&mut writers, &out, |_| None, &mut pool).expect("fan out");
+    let exec = seve_exec::Executor::new(4);
+    fan_out(&mut writers, &out, |_| None, &mut pool, &exec).expect("fan out");
     drop(writers);
 
     let mut reader = FrameReader::new(client);
@@ -142,17 +145,19 @@ fn stalled_destination_does_not_block_other_lanes() {
         writers.push(Some(stream));
     }
 
-    let mut out: Vec<(ClientId, Vec<u8>)> = vec![
-        (ClientId(0), vec![0xAA; 64]),
-        (ClientId(1), vec![0xBB; 64]),
-    ];
+    let mut out: Vec<(ClientId, Vec<u8>)> =
+        vec![(ClientId(0), vec![0xAA; 64]), (ClientId(1), vec![0xBB; 64])];
     for _ in 0..STALL_FRAMES {
         out.push((ClientId(2), vec![0xCC; STALL_FRAME_BYTES]));
     }
 
     let writer = std::thread::spawn(move || {
         let mut pool = BufferPool::new();
-        let r = fan_out(&mut writers, &out, |_| None, &mut pool).expect("fan out");
+        // The PR-8 stall-isolation guarantee must hold on the persistent
+        // shared pool exactly as it did with per-cycle spawned workers: a
+        // pool of ≥3 lanes gives every lane below its own drain task.
+        let exec = seve_exec::Executor::new(4);
+        let r = fan_out(&mut writers, &out, |_| None, &mut pool, &exec).expect("fan out");
         drop(writers);
         r
     });
@@ -174,7 +179,10 @@ fn stalled_destination_does_not_block_other_lanes() {
     // Only now unstall client 2 and let the fan-out finish.
     let mut reader = FrameReader::new(clients.pop().unwrap());
     for _ in 0..STALL_FRAMES {
-        match reader.read_msg::<RtDown<Vec<u8>>>().expect("read stalled frame") {
+        match reader
+            .read_msg::<RtDown<Vec<u8>>>()
+            .expect("read stalled frame")
+        {
             RtDown::Msg(v) => assert_eq!(v.len(), STALL_FRAME_BYTES),
             RtDown::Stop => panic!("unexpected stop"),
         }
@@ -212,7 +220,15 @@ fn shared_payloads_encode_once_and_reach_every_client() {
         .map(|c| (ClientId(c), 0xFEED_u64))
         .collect();
     let mut pool = BufferPool::new();
-    fan_out(&mut writers, &out, |_| Some(ShareId::Gc(7)), &mut pool).expect("fan out");
+    let exec = seve_exec::Executor::new(4);
+    fan_out(
+        &mut writers,
+        &out,
+        |_| Some(ShareId::Gc(7)),
+        &mut pool,
+        &exec,
+    )
+    .expect("fan out");
     drop(writers);
 
     // One encode for the whole broadcast: exactly one buffer was drawn

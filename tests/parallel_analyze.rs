@@ -31,8 +31,18 @@ fn dense_world() -> Arc<ManhattanWorld> {
 }
 
 fn dense_run(world: &Arc<ManhattanWorld>, threads: usize, queue: EventQueueKind) -> RunResult {
+    dense_run_pooled(world, threads, None, queue)
+}
+
+fn dense_run_pooled(
+    world: &Arc<ManhattanWorld>,
+    threads: usize,
+    exec_threads: Option<usize>,
+    queue: EventQueueKind,
+) -> RunResult {
     let mut proto = ProtocolConfig::with_mode(ServerMode::InfoBound);
     proto.analyze_threads = Some(threads);
+    proto.exec_threads = exec_threads;
     let suite = SeveSuite::new(proto);
     let sim = SimConfig {
         moves_per_client: 15,
@@ -78,6 +88,41 @@ fn four_thread_analysis_is_bit_identical_to_sequential() {
         par.server.stage.analyze_entries_linear,
         seq.server.stage.analyze_entries_linear
     );
+}
+
+#[test]
+fn protocol_outcomes_are_identical_across_executor_pool_widths() {
+    // The persistent work-stealing pool must be invisible to the protocol:
+    // a width-1 pool (fully inline, zero worker threads), a width-2 pool,
+    // and a width-8 pool (oversubscribed on small hosts — stealing under
+    // contention) all have to produce bit-identical runs.
+    let world = dense_world();
+    let baseline = dense_run_pooled(&world, 4, Some(1), EventQueueKind::Wheel);
+    assert!(
+        baseline.server.stage.analyze_parallel_ticks > 0,
+        "no tick cleared the parallel gate; batch sizing regressed"
+    );
+    for width in [2usize, 8] {
+        let run = dense_run_pooled(&world, 4, Some(width), EventQueueKind::Wheel);
+        assert_eq!(
+            run.stable_digests, baseline.stable_digests,
+            "stable digests diverged at pool width {width}"
+        );
+        assert_eq!(
+            run.committed_digest, baseline.committed_digest,
+            "committed digest diverged at pool width {width}"
+        );
+        assert_eq!(run.dropped, baseline.dropped);
+        assert_eq!(run.submitted, baseline.submitted);
+        assert_eq!(run.total_bytes, baseline.total_bytes);
+        assert_eq!(run.response_ms.samples(), baseline.response_ms.samples());
+        assert_eq!(run.duration, baseline.duration);
+        assert_eq!(run.violations, 0, "Theorem 1 at pool width {width}");
+        assert_eq!(
+            run.server.stage.analyze_entries_visited, baseline.server.stage.analyze_entries_visited,
+            "work accounting diverged at pool width {width}"
+        );
+    }
 }
 
 #[test]
