@@ -193,6 +193,23 @@ pub struct StageMetrics {
     /// High-water mark of tasks queued on the executor and not yet
     /// picked up.
     pub exec_queue_hwm: u64,
+    /// Pooled encode buffers still checked out at report time. Non-zero
+    /// after a drained shutdown means the transport leaked buffers.
+    pub pool_outstanding: u64,
+    /// Down-lane frames retransmitted by the session supervisor (RTO
+    /// expiry or resume catch-up). Zero on a fault-free run.
+    pub session_retransmits: u64,
+    /// Cumulative acknowledgements the session supervisor processed.
+    pub session_acks: u64,
+    /// Resume handshakes accepted after a reconnect. Zero on a fault-free
+    /// run.
+    pub session_reconnects: u64,
+    /// Client lanes reaped by the liveness supervisor (crash, silence, or
+    /// retry-budget exhaustion). Zero on a fault-free run.
+    pub session_reaps: u64,
+    /// Overload responses: evicted lanes or thinned push cycles. Zero on
+    /// a fault-free run.
+    pub session_sheds: u64,
 }
 
 /// Per-server metrics.
@@ -265,6 +282,12 @@ mod tests {
         assert_eq!(s.stage.exec_steals, 0);
         assert_eq!(s.stage.exec_busy_nanos, 0);
         assert_eq!(s.stage.exec_queue_hwm, 0);
+        assert_eq!(s.stage.pool_outstanding, 0);
+        assert_eq!(s.stage.session_retransmits, 0);
+        assert_eq!(s.stage.session_acks, 0);
+        assert_eq!(s.stage.session_reconnects, 0);
+        assert_eq!(s.stage.session_reaps, 0);
+        assert_eq!(s.stage.session_sheds, 0);
     }
 
     #[test]

@@ -132,8 +132,24 @@ impl FaultPolicy {
     }
 }
 
+/// A seeded link outage: `client`'s duplex link goes dark after its
+/// `after_submissions`-th submission and heals `duration` later, at which
+/// point the client reconnects (with backoff on real sockets) and resumes
+/// its session from the last acked sequence number. Doubles as the
+/// crash-then-reconnect schedule: on the TCP substrate the connection is
+/// actually torn down and redialed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkPartition {
+    /// The partitioned client.
+    pub client: ClientId,
+    /// Partition starts right after this many submissions.
+    pub after_submissions: u32,
+    /// How long the link stays dark.
+    pub duration: Duration,
+}
+
 /// A full fault scenario for one session: per-direction message faults plus
-/// client crashes.
+/// client crashes and link partitions.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// Faults on client → server traffic.
@@ -143,6 +159,8 @@ pub struct FaultPlan {
     /// Clients that crash: `(client, k)` disconnects the client abruptly
     /// after its `k`-th submission — no drain, no goodbye.
     pub crashes: Vec<(ClientId, u32)>,
+    /// Link-partition windows (crash-then-reconnect schedules).
+    pub partitions: Vec<LinkPartition>,
 }
 
 impl FaultPlan {
@@ -153,7 +171,10 @@ impl FaultPlan {
 
     /// Does this plan inject anything at all?
     pub fn is_none(&self) -> bool {
-        self.up.is_none() && self.down.is_none() && self.crashes.is_empty()
+        self.up.is_none()
+            && self.down.is_none()
+            && self.crashes.is_empty()
+            && self.partitions.is_empty()
     }
 
     /// The crash point for `client`, if scheduled.
@@ -162,6 +183,11 @@ impl FaultPlan {
             .iter()
             .find(|(c, _)| *c == client)
             .map(|&(_, k)| k)
+    }
+
+    /// The partition window for `client`, if scheduled.
+    pub fn partition_for(&self, client: ClientId) -> Option<LinkPartition> {
+        self.partitions.iter().find(|p| p.client == client).copied()
     }
 
     /// The up-lane stream id for client `i` (shared convention across
@@ -376,6 +402,20 @@ where
         }
         Ok(bytes + self.inner.finish()?)
     }
+
+    // The decorator simulates the lossy network *below* the supervision
+    // layer, so connection management passes straight through.
+    fn reconnect(&mut self) -> Result<bool, Self::Error> {
+        self.inner.reconnect()
+    }
+
+    fn partition(&mut self, d: Duration) -> Result<(), Self::Error> {
+        self.inner.partition(d)
+    }
+
+    fn session_stats(&self) -> crate::session::SessionStats {
+        self.inner.session_stats()
+    }
 }
 
 #[cfg(test)]
@@ -478,5 +518,21 @@ mod tests {
         assert!(!plan.is_none());
         assert!(FaultPlan::none().is_none());
         assert_ne!(FaultPlan::up_stream(3), FaultPlan::down_stream(3));
+    }
+
+    #[test]
+    fn partition_plan_lookup() {
+        let window = LinkPartition {
+            client: ClientId(1),
+            after_submissions: 4,
+            duration: Duration::from_millis(150),
+        };
+        let plan = FaultPlan {
+            partitions: vec![window],
+            ..FaultPlan::default()
+        };
+        assert!(!plan.is_none(), "a partition-only plan still injects");
+        assert_eq!(plan.partition_for(ClientId(1)), Some(window));
+        assert_eq!(plan.partition_for(ClientId(0)), None);
     }
 }

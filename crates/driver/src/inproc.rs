@@ -18,9 +18,12 @@
 use crate::fault::{FaultPlan, FaultyClientTransport};
 use crate::node::NodeDriver;
 use crate::report::{ClientReport, ServerReport, SessionReport};
+use crate::session::{
+    SessionDown, SessionParams, SessionUp, SupervisedClientTransport, SupervisedServerTransport,
+};
 use crate::transport::{ClientEvent, ClientTransport, ServerEvent, ServerTransport};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use seve_core::engine::{ProtocolSuite, ServerNode, WireSize};
+use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode, WireSize};
 use seve_world::ids::ClientId;
 use seve_world::worlds::Workload;
 use seve_world::GameWorld;
@@ -32,9 +35,11 @@ use std::time::Duration;
 enum InUp<U> {
     /// A protocol message from the given client.
     Msg(ClientId, U),
-    /// The client is finished (orderly goodbye, or its transport was
-    /// dropped after a crash — the channel analogue of a broken socket).
-    Done,
+    /// The client finished with an orderly goodbye.
+    Done(ClientId),
+    /// The client's transport was dropped without a goodbye — the channel
+    /// analogue of a broken socket.
+    Gone(ClientId),
 }
 
 /// Server → client channel items.
@@ -49,7 +54,9 @@ enum InDown<D> {
 /// one outbound channel per client seat.
 pub struct InprocServerTransport<U, D> {
     rx: Receiver<InUp<U>>,
-    txs: Vec<Sender<InDown<D>>>,
+    // `None` once the lane is released (reaped): the channel analogue of a
+    // closed socket — later sends to that seat are silently lost.
+    txs: Vec<Option<Sender<InDown<D>>>>,
 }
 
 /// One client's side of an in-process session.
@@ -73,7 +80,7 @@ pub fn wire<U, D>(
     let mut clients = Vec::with_capacity(n);
     for i in 0..n {
         let (tx_down, rx_down) = unbounded();
-        txs.push(tx_down);
+        txs.push(Some(tx_down));
         clients.push(InprocClientTransport {
             id: ClientId(i as u16),
             tx: tx_up.clone(),
@@ -90,7 +97,8 @@ impl<U, D: WireSize + Clone> ServerTransport<U, D> for InprocServerTransport<U, 
     fn recv(&mut self, timeout: Duration) -> Result<ServerEvent<U>, Infallible> {
         Ok(match self.rx.recv_timeout(timeout) {
             Ok(InUp::Msg(from, msg)) => ServerEvent::Msg(from, msg),
-            Ok(InUp::Done) => ServerEvent::Done,
+            Ok(InUp::Done(c)) => ServerEvent::Done(c),
+            Ok(InUp::Gone(c)) => ServerEvent::Gone(c),
             Err(RecvTimeoutError::Timeout) => ServerEvent::Timeout,
             Err(RecvTimeoutError::Disconnected) => ServerEvent::Closed,
         })
@@ -100,19 +108,28 @@ impl<U, D: WireSize + Clone> ServerTransport<U, D> for InprocServerTransport<U, 
         let mut bytes = 0u64;
         for (dest, m) in out {
             let sz = m.wire_bytes() as u64;
-            // A send to a departed client is the channel analogue of writing
-            // to a closed socket: the traffic is silently lost.
-            if self.txs[dest.index()].send(InDown::Msg(m.clone())).is_ok() {
-                bytes += sz;
+            // A send to a departed or released client is the channel
+            // analogue of writing to a closed socket: silently lost.
+            if let Some(tx) = &self.txs[dest.index()] {
+                if tx.send(InDown::Msg(m.clone())).is_ok() {
+                    bytes += sz;
+                }
             }
         }
         Ok(bytes)
     }
 
     fn stop_all(&mut self) -> Result<(), Infallible> {
-        for tx in &self.txs {
+        for tx in self.txs.iter().flatten() {
             let _ = tx.send(InDown::Stop);
         }
+        Ok(())
+    }
+
+    fn release(&mut self, c: ClientId) -> Result<(), Infallible> {
+        // Dropping the sender closes the lane: the client (if still alive)
+        // observes `Closed`, and no further traffic can queue for it.
+        self.txs[c.index()] = None;
         Ok(())
     }
 }
@@ -140,7 +157,7 @@ impl<U: WireSize, D> ClientTransport<U, D> for InprocClientTransport<U, D> {
 
     fn finish(&mut self) -> Result<u64, Infallible> {
         self.finished = true;
-        let _ = self.tx.send(InUp::Done);
+        let _ = self.tx.send(InUp::Done(self.id));
         Ok(0)
     }
 }
@@ -152,7 +169,7 @@ impl<U, D> Drop for InprocClientTransport<U, D> {
     /// when a socket breaks.
     fn drop(&mut self) {
         if !self.finished {
-            let _ = self.tx.send(InUp::Done);
+            let _ = self.tx.send(InUp::Gone(self.id));
         }
     }
 }
@@ -172,8 +189,11 @@ pub struct SessionConfig {
     /// Post-goodbye linger (see [`NodeDriver::linger`]).
     pub linger: Duration,
     /// Fault injection applied to every client transport, plus scheduled
-    /// crashes.
+    /// crashes and partitions.
     pub faults: FaultPlan,
+    /// Session-supervision parameters. Supervised by default; set
+    /// `session.supervised = false` for the PR-5 detection-only envelope.
+    pub session: SessionParams,
 }
 
 impl Default for SessionConfig {
@@ -185,17 +205,20 @@ impl Default for SessionConfig {
             drain_grace: Duration::from_secs(2),
             linger: Duration::from_secs(10),
             faults: FaultPlan::none(),
+            session: SessionParams::default(),
         }
     }
 }
 
 impl SessionConfig {
-    /// A config scaled for tests: short periods, few moves.
+    /// A config scaled for tests: short periods, few moves, a fast
+    /// supervision envelope (short RTO and liveness deadlines).
     pub fn fast(moves: u32, move_period: Duration, tick: Duration) -> Self {
         Self {
             tick,
             move_period,
             moves,
+            session: SessionParams::fast(),
             ..Self::default()
         }
     }
@@ -225,9 +248,73 @@ where
         .push_period()
         .map(|p| Duration::from_micros(p.as_micros()))
         .unwrap_or(cfg.tick);
-    let (mut server_transport, client_transports) = wire::<P::Up, P::Down>(n);
     let workloads: Vec<Box<dyn Workload<W>>> =
         (0..n).map(|i| make_workload(ClientId(i as u16))).collect();
+
+    if cfg.session.supervised {
+        // Supervised wiring: the channels carry session envelopes, the
+        // fault decorator perturbs them (the "network" below supervision),
+        // and the supervisors recover on top.
+        let (server_t, client_ts) = wire::<SessionUp<P::Up>, SessionDown<P::Down>>(n);
+        let server_transport = SupervisedServerTransport::new(server_t, n, cfg.session);
+        let client_transports: Vec<_> = client_ts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                SupervisedClientTransport::new(
+                    FaultyClientTransport::new(t, &cfg.faults, i),
+                    ClientId(i as u16),
+                    cfg.session,
+                )
+            })
+            .collect();
+        drive_session(
+            cfg,
+            push,
+            server_engine,
+            client_engines,
+            server_transport,
+            client_transports,
+            workloads,
+        )
+    } else {
+        let (server_transport, client_ts) = wire::<P::Up, P::Down>(n);
+        let client_transports: Vec<_> = client_ts
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| FaultyClientTransport::new(t, &cfg.faults, i))
+            .collect();
+        drive_session(
+            cfg,
+            push,
+            server_engine,
+            client_engines,
+            server_transport,
+            client_transports,
+            workloads,
+        )
+    }
+}
+
+/// Drive one wired-up session to completion: the server plus one thread
+/// per client, all on the shared [`NodeDriver`] loops.
+fn drive_session<W, S, C, ST, CT>(
+    cfg: &SessionConfig,
+    push: Duration,
+    server_engine: S,
+    client_engines: Vec<C>,
+    mut server_transport: ST,
+    client_transports: Vec<CT>,
+    workloads: Vec<Box<dyn Workload<W>>>,
+) -> SessionReport
+where
+    W: GameWorld,
+    S: ServerNode<W>,
+    C: ClientNode<W, Up = S::Up, Down = S::Down>,
+    ST: ServerTransport<S::Up, S::Down, Error = Infallible> + Send,
+    CT: ClientTransport<S::Up, S::Down, Error = Infallible> + Send,
+{
+    let n = client_engines.len();
     let server_driver = NodeDriver::server(cfg.tick, push);
     let plan = &cfg.faults;
 
@@ -242,15 +329,18 @@ where
             .zip(client_transports)
             .zip(workloads)
             .enumerate()
-            .map(|(i, ((engine, transport), mut wl))| {
+            .map(|(i, ((engine, mut transport), mut wl))| {
+                let id = ClientId(i as u16);
                 let mut driver = NodeDriver::client(cfg.moves, cfg.move_period);
                 driver.drain_grace = cfg.drain_grace;
                 driver.linger = cfg.linger;
-                driver.crash_after_moves = plan.crash_for(ClientId(i as u16));
+                driver.crash_after_moves = plan.crash_for(id);
+                driver.partition_after_moves = plan
+                    .partition_for(id)
+                    .map(|p| (p.after_submissions, p.duration));
                 s.spawn(move |_| {
-                    let mut t = FaultyClientTransport::new(transport, plan, i);
                     driver
-                        .run_client(engine, wl.as_mut(), &mut t)
+                        .run_client(engine, wl.as_mut(), &mut transport)
                         .expect("in-process transport is infallible")
                 })
             })

@@ -32,16 +32,22 @@ pub mod inproc;
 pub mod machine;
 pub mod node;
 pub mod report;
+pub mod session;
 pub mod sim;
 pub mod timer;
 pub mod transport;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use fault::{FaultPlan, FaultPolicy, FaultyClientTransport, FaultyLink};
+pub use fault::{FaultPlan, FaultPolicy, FaultyClientTransport, FaultyLink, LinkPartition};
 pub use inproc::{run_inproc_session, SessionConfig};
 pub use machine::Machine;
 pub use node::NodeDriver;
 pub use report::{ClientReport, ReplayWork, ServerReport, SessionReport};
+pub use session::{
+    session_token, Backoff, BackoffParams, Resequencer, RetryBudgetExhausted, SendWindow,
+    SessionDown, SessionParams, SessionStats, SessionUp, ShedPolicy, SupervisedClientTransport,
+    SupervisedServerTransport,
+};
 pub use sim::{AveragedResult, RunResult, SimConfig, Simulation};
 pub use timer::{CatchUp, MoveTimer, PeriodicTimer, Timer};
 pub use transport::{ClientEvent, ClientTransport, EgressStats, ServerEvent, ServerTransport};

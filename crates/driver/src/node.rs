@@ -52,6 +52,11 @@ pub struct NodeDriver {
     /// Fault injection: abort the client abruptly after this many
     /// submissions — no drain, no goodbye (Section III-C crash scenario).
     pub crash_after_moves: Option<u32>,
+    /// Fault injection: partition the client's link for the given span
+    /// after this many submissions. A supervised transport buffers
+    /// up-traffic, loses down-traffic, then reconnects and resumes; an
+    /// unsupervised one no-ops.
+    pub partition_after_moves: Option<(u32, Duration)>,
 }
 
 impl Default for NodeDriver {
@@ -64,6 +69,7 @@ impl Default for NodeDriver {
             drain_grace: Duration::from_secs(2),
             linger: Duration::from_secs(10),
             crash_after_moves: None,
+            partition_after_moves: None,
         }
     }
 }
@@ -121,9 +127,15 @@ impl NodeDriver {
                 tick_t.advance(clock.now());
             }
             if pushes && push_t.due(now) {
-                out.clear();
-                engine.push_tick(now, &mut out);
-                bytes_out += transport.send_batch(&out)?;
+                // ThinPush shedding: while the transport is past its
+                // egress high-water mark, skip whole push cycles — safe
+                // because routing's `sent` tracking only advances on
+                // messages actually handed to the transport.
+                if !transport.overloaded() {
+                    out.clear();
+                    engine.push_tick(now, &mut out);
+                    bytes_out += transport.send_batch(&out)?;
+                }
                 push_t.advance(clock.now());
             }
             let tick_next = tick_t.next_deadline().expect("clamped timers never end");
@@ -138,7 +150,12 @@ impl NodeDriver {
                     engine.deliver(clock.now(), from, msg, &mut out);
                     bytes_out += transport.send_batch(&out)?;
                 }
-                ServerEvent::Done => done += 1,
+                // An unsupervised transport surfaces abrupt loss (`Gone`)
+                // directly; the driver retires the seat either way, exactly
+                // the pre-supervision semantics. A supervised transport
+                // absorbs `Gone` internally (resume window, then reap) and
+                // emits `Done` once per seat.
+                ServerEvent::Done(_) | ServerEvent::Gone(_) => done += 1,
                 ServerEvent::Timeout => {}
                 ServerEvent::Closed => break,
             }
@@ -166,6 +183,12 @@ impl NodeDriver {
         let mut metrics = engine.metrics().clone();
         metrics.stage.pool_hits += wire.pool_hits;
         metrics.stage.writev_batches += wire.writev_batches;
+        metrics.stage.pool_outstanding += wire.pool_outstanding;
+        metrics.stage.session_retransmits += wire.session.retransmits;
+        metrics.stage.session_acks += wire.session.acks;
+        metrics.stage.session_reconnects += wire.session.reconnects;
+        metrics.stage.session_reaps += wire.session.reaps;
+        metrics.stage.session_sheds += wire.session.sheds;
         // The transport's drain pool is a second executor alongside the
         // engine's compute pool; its counters add into the same profile
         // fields (both are host-side scheduling diagnostics).
@@ -225,6 +248,11 @@ impl NodeDriver {
                     crashed = true;
                     break 'workload;
                 }
+                if let Some((k, span)) = self.partition_after_moves {
+                    if mover.fired() == k {
+                        transport.partition(span)?;
+                    }
+                }
                 continue;
             }
             match transport.recv(clock.wait_until(deadline))? {
@@ -283,6 +311,7 @@ impl NodeDriver {
             stable_digest,
             bytes_out,
             crashed,
+            session: transport.session_stats(),
         })
     }
 }

@@ -6,6 +6,7 @@
 //! to be simulator-only — the pipeline [`StageMetrics`] and the replay
 //! counters behind the checkpointed log — is surfaced uniformly.
 
+use crate::session::SessionStats;
 use seve_core::consistency::ConsistencyOracle;
 use seve_core::metrics::{ClientMetrics, ServerMetrics, StageMetrics};
 use std::fmt::Write as _;
@@ -42,6 +43,10 @@ pub struct ClientReport {
     /// Did this client crash mid-run (fault injection) instead of
     /// finishing its workload and draining?
     pub crashed: bool,
+    /// What this client's session supervisor did (resequencing, acks,
+    /// reconnects). All-zero when the transport is unsupervised or the
+    /// run was fault-free on a substrate with implicit acks.
+    pub session: SessionStats,
 }
 
 /// The replay-work counters of one client: out-of-order rebuilds, log
@@ -200,6 +205,25 @@ pub fn render_stage_profile(label: &str, stage: &StageMetrics) -> String {
             stage.exec_queue_hwm,
         );
     }
+    // The session line appears only when the supervisor actually coped
+    // with a fault, so fault-free profiles are unchanged (acks alone don't
+    // qualify — they flow on every supervised TCP run).
+    if stage.session_retransmits
+        + stage.session_reconnects
+        + stage.session_reaps
+        + stage.session_sheds
+        > 0
+    {
+        let _ = writeln!(
+            out,
+            "  session: {} retransmits, {} acks, {} reconnects, {} reaps, {} sheds",
+            stage.session_retransmits,
+            stage.session_acks,
+            stage.session_reconnects,
+            stage.session_reaps,
+            stage.session_sheds,
+        );
+    }
     out
 }
 
@@ -296,6 +320,25 @@ mod tests {
             ),
             "executor line missing or malformed"
         );
+        assert!(
+            !text.contains("session:"),
+            "session line only when the supervisor coped with a fault"
+        );
+
+        stage.session_acks = 40;
+        let text = render_stage_profile("SEVE @ 8 clients", &stage);
+        assert!(
+            !text.contains("session:"),
+            "acks alone don't trigger the session line"
+        );
+        stage.session_retransmits = 6;
+        stage.session_reconnects = 1;
+        stage.session_reaps = 2;
+        let text = render_stage_profile("SEVE @ 8 clients", &stage);
+        assert!(
+            text.contains("session: 6 retransmits, 40 acks, 1 reconnects, 2 reaps, 0 sheds"),
+            "session line missing or malformed"
+        );
     }
 
     #[test]
@@ -324,6 +367,7 @@ mod tests {
             stable_digest: 0,
             bytes_out: 0,
             crashed: false,
+            session: SessionStats::default(),
         };
         assert_eq!(
             r.replay_work(),

@@ -7,6 +7,7 @@
 //! the event queue itself, see [`crate::sim`]), but the fault decorator
 //! ([`crate::fault::FaultyClientTransport`]) wraps any implementation.
 
+use crate::session::SessionStats;
 use seve_world::ids::ClientId;
 use std::time::Duration;
 
@@ -15,8 +16,14 @@ use std::time::Duration;
 pub enum ServerEvent<U> {
     /// A protocol message arrived from a client.
     Msg(ClientId, U),
-    /// One client finished (orderly goodbye or lost connection).
-    Done,
+    /// The client finished with an orderly goodbye.
+    Done(ClientId),
+    /// The client's connection was lost abruptly (broken socket, dropped
+    /// channel) with no goodbye. Supervised transports hold the lane open
+    /// for a resume; unsupervised drivers treat it like [`Done`].
+    ///
+    /// [`Done`]: ServerEvent::Done
+    Gone(ClientId),
     /// Nothing arrived within the timeout.
     Timeout,
     /// The transport is gone; no further events will arrive.
@@ -58,6 +65,12 @@ pub struct EgressStats {
     pub exec_busy_nanos: u64,
     /// High-water mark of tasks queued on the drain pool.
     pub exec_queue_hwm: u64,
+    /// Pooled encode buffers currently checked out (a non-zero value after
+    /// a drained shutdown is a leak).
+    pub pool_outstanding: u64,
+    /// Session-supervision counters, when a supervised wrapper is
+    /// stacked on this transport (zeros otherwise).
+    pub session: SessionStats,
 }
 
 /// The server's view of the network: a merged inbound stream from every
@@ -77,6 +90,20 @@ pub trait ServerTransport<U, D> {
 
     /// End the session: tell every client to stop.
     fn stop_all(&mut self) -> Result<(), Self::Error>;
+
+    /// Release every resource held for client `c` (sockets, writer lanes,
+    /// pooled buffers) — the reaping hook. Unblocks any reader parked on
+    /// the peer. Default: nothing to release.
+    fn release(&mut self, _c: ClientId) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    /// Is the transport over its egress high-water mark? Drivers consult
+    /// this before optional work (push cycles) and skip it while true —
+    /// the ThinPush shed policy. Default: never.
+    fn overloaded(&mut self) -> bool {
+        false
+    }
 
     /// Cumulative wire-path statistics. Transports without a real wire
     /// path (channels, simulation) report zeros.
@@ -100,4 +127,25 @@ pub trait ClientTransport<U, D> {
     /// frame); returns the bytes written. A client that crashes never
     /// calls this — the transport signals the loss on drop/close instead.
     fn finish(&mut self) -> Result<u64, Self::Error>;
+
+    /// Re-establish the substrate connection after a loss. `Ok(true)`
+    /// means a fresh connection is up, `Ok(false)` that this transport has
+    /// nothing to re-establish (channels never really disconnect), `Err`
+    /// that the attempt failed and may be retried. Default: nothing to do.
+    fn reconnect(&mut self) -> Result<bool, Self::Error> {
+        Ok(false)
+    }
+
+    /// Simulate a link outage for `d` from now: a transport that can drop
+    /// its connection does so (the server observes the loss), others
+    /// no-op — the supervised wrapper models the loss either way.
+    fn partition(&mut self, _d: Duration) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    /// Session-supervision counters, when a supervised wrapper is stacked
+    /// on this transport (zeros otherwise).
+    fn session_stats(&self) -> SessionStats {
+        SessionStats::default()
+    }
 }

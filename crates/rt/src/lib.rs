@@ -36,5 +36,5 @@ pub mod frame;
 pub mod server;
 pub mod wire;
 
-pub use client::{run_client, ClientReport, TcpClientTransport};
-pub use server::{fan_out, run_server, ServerReport, TcpServerTransport};
+pub use client::{run_client, run_client_with, ClientReport, TcpClientTransport};
+pub use server::{fan_out, run_server, run_server_with, ServerReport, TcpServerTransport};

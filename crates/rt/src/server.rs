@@ -11,19 +11,23 @@
 
 use crate::frame::{encode_frame_into, write_msg, FrameError, FrameReader};
 use crate::wire::BufferPool;
-use crossbeam::channel::{self, Receiver, RecvTimeoutError};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use seve_core::engine::{ServerNode, ShareId, ShareKey};
-use seve_driver::{EgressStats, NodeDriver, ServerEvent, ServerTransport};
+use seve_driver::{
+    session_token, EgressStats, NodeDriver, ServerEvent, ServerTransport, SessionParams, SessionUp,
+    SupervisedServerTransport,
+};
 use seve_world::ids::ClientId;
 use seve_world::GameWorld;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::io::{self, IoSlice, Write};
 use std::marker::PhantomData;
-use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 pub use seve_driver::ServerReport;
@@ -39,6 +43,10 @@ pub enum RtUp<M> {
         /// different world parameters can never converge; the server
         /// rejects mismatches at the door instead of diverging silently.
         world_digest: u64,
+        /// The session token (see [`session_token`]). Lets a reconnecting
+        /// client reclaim its seat mid-run; a connection presenting the
+        /// wrong token for an occupied seat is refused.
+        token: u64,
     },
     /// A protocol message.
     Msg(M),
@@ -70,17 +78,24 @@ impl<M: Serialize> Serialize for RtDownMsgRef<'_, M> {
 
 enum Inbound<M> {
     Msg(ClientId, M),
-    /// Orderly goodbye or lost connection; either ends the client's session.
-    Done,
+    /// Orderly goodbye.
+    Done(ClientId),
+    /// Connection lost without a goodbye (read error / EOF).
+    Gone(ClientId),
 }
 
+/// Writer sockets shared between the transport (fan-out) and the acceptor
+/// thread (seat installs and mid-run re-attaches).
+type SharedWriters = Arc<Mutex<Vec<Option<TcpStream>>>>;
+
 /// The server's side of a framed-TCP session: the merged inbound channel
-/// the reader threads feed, plus one writer socket per seated client.
+/// the reader threads feed, plus one writer socket per seated client
+/// (shared with the acceptor thread, which swaps sockets on resume).
 /// Implements [`ServerTransport`] so [`NodeDriver::run_server`] can drive
 /// any engine over it.
 pub struct TcpServerTransport<U, D> {
     rx: Receiver<Inbound<U>>,
-    writers: Vec<Option<TcpStream>>,
+    writers: SharedWriters,
     /// Recycled encode buffers: after warm-up, every frame encodes into a
     /// buffer from a previous batch instead of a fresh allocation.
     pool: BufferPool,
@@ -100,15 +115,17 @@ impl<U, D: Serialize + ShareKey + Sync> ServerTransport<U, D> for TcpServerTrans
     fn recv(&mut self, timeout: Duration) -> Result<ServerEvent<U>, FrameError> {
         Ok(match self.rx.recv_timeout(timeout) {
             Ok(Inbound::Msg(from, m)) => ServerEvent::Msg(from, m),
-            Ok(Inbound::Done) => ServerEvent::Done,
+            Ok(Inbound::Done(c)) => ServerEvent::Done(c),
+            Ok(Inbound::Gone(c)) => ServerEvent::Gone(c),
             Err(RecvTimeoutError::Timeout) => ServerEvent::Timeout,
             Err(RecvTimeoutError::Disconnected) => ServerEvent::Closed,
         })
     }
 
     fn send_batch(&mut self, out: &[(ClientId, D)]) -> Result<u64, FrameError> {
+        let mut writers = self.writers.lock().expect("writer seats");
         let (bytes, batches) = fan_out(
-            &mut self.writers,
+            &mut writers,
             out,
             D::share_key,
             &mut self.pool,
@@ -120,8 +137,21 @@ impl<U, D: Serialize + ShareKey + Sync> ServerTransport<U, D> for TcpServerTrans
 
     fn stop_all(&mut self) -> Result<(), FrameError> {
         // Best effort: a client that already vanished is not an error.
-        for w in self.writers.iter_mut().flatten() {
+        let mut writers = self.writers.lock().expect("writer seats");
+        for w in writers.iter_mut().flatten() {
             let _ = write_msg(w, &RtDown::<D>::Stop);
+        }
+        Ok(())
+    }
+
+    fn release(&mut self, c: ClientId) -> Result<(), FrameError> {
+        // Reap: retire the egress lane NOW. `shutdown(Both)` (not just a
+        // drop) also unblocks the client's reader thread mid-`read`, so a
+        // crashed client can no longer strand its session — its lane, its
+        // pooled frames, and its reader all release here.
+        let mut writers = self.writers.lock().expect("writer seats");
+        if let Some(s) = writers[c.index()].take() {
+            let _ = s.shutdown(Shutdown::Both);
         }
         Ok(())
     }
@@ -132,11 +162,217 @@ impl<U, D: Serialize + ShareKey + Sync> ServerTransport<U, D> for TcpServerTrans
             pool_hits: self.pool.hits(),
             pool_misses: self.pool.misses(),
             writev_batches: self.writev_batches,
+            pool_outstanding: self.pool.outstanding(),
             exec_tasks: exec.tasks,
             exec_steals: exec.steals,
             exec_busy_nanos: exec.busy_nanos,
             exec_queue_hwm: exec.queue_hwm,
+            ..EgressStats::default()
         }
+    }
+}
+
+/// Handle to the background accept/handshake thread. It outlives the
+/// initial seating round so clients that lose their connection mid-run can
+/// reconnect and resume their session.
+struct Acceptor {
+    stop: Arc<AtomicBool>,
+    writers: SharedWriters,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Acceptor {
+    /// Stop accepting, retire every seated writer (`shutdown(Both)` also
+    /// unblocks readers stuck in `read`), and join the acceptor thread —
+    /// which joins its reader threads on the way out.
+    fn shutdown(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for w in self.writers.lock().expect("writer seats").iter_mut() {
+            if let Some(s) = w.take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+        let _ = self.handle.join();
+    }
+}
+
+/// Spawn the accept/handshake thread for an `n`-seat session.
+///
+/// `tokens` selects the seating policy: `Some(per-seat tokens)` means a
+/// supervised session — a connection presenting the right token may take
+/// an *occupied* seat (mid-run resume; the stale socket is shut down and
+/// its reader silenced via a generation counter) — while `None` means
+/// plain sessions where an occupied seat refuses newcomers.
+fn spawn_acceptor<U>(
+    listener: TcpListener,
+    n: usize,
+    world_digest: u64,
+    tokens: Option<Arc<Vec<u64>>>,
+    tx: Sender<Inbound<U>>,
+) -> io::Result<Acceptor>
+where
+    U: DeserializeOwned + Send + 'static,
+{
+    // Nonblocking accept so the thread can notice the stop flag; seated
+    // streams are flipped back to blocking before the handshake.
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: SharedWriters = Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+    let gens: Arc<Vec<AtomicU64>> = Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+    let handle = {
+        let stop = Arc::clone(&stop);
+        let writers = Arc::clone(&writers);
+        std::thread::spawn(move || {
+            let mut readers = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let stream = match listener.accept() {
+                    Ok((stream, _peer)) => stream,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(5));
+                        continue;
+                    }
+                };
+                if let Ok(Some(r)) = seat_client::<U>(
+                    stream,
+                    n,
+                    world_digest,
+                    tokens.as_deref(),
+                    &writers,
+                    &gens,
+                    &tx,
+                ) {
+                    readers.push(r);
+                }
+            }
+            for r in readers {
+                let _ = r.join();
+            }
+        })
+    };
+    Ok(Acceptor {
+        stop,
+        writers,
+        handle,
+    })
+}
+
+/// Handshake one freshly accepted connection and, if it checks out, seat
+/// it: install its writer, bump the seat's generation, and spawn its
+/// reader thread. Returns `Ok(None)` for rejected connections.
+fn seat_client<U>(
+    stream: TcpStream,
+    n: usize,
+    world_digest: u64,
+    tokens: Option<&Vec<u64>>,
+    writers: &SharedWriters,
+    gens: &Arc<Vec<AtomicU64>>,
+    tx: &Sender<Inbound<U>>,
+) -> io::Result<Option<std::thread::JoinHandle<()>>>
+where
+    U: DeserializeOwned + Send + 'static,
+{
+    stream.set_nonblocking(false)?;
+    stream.set_nodelay(true)?;
+    // A peer that connects but never completes its hello must not wedge
+    // the acceptor — bound the handshake read, then lift the bound for
+    // the session proper.
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    let mut reader = FrameReader::new(stream.try_clone()?);
+    // The first frame must identify the client.
+    let Ok(RtUp::Hello {
+        client,
+        world_digest: theirs,
+        token,
+    }) = reader.read_msg::<RtUp<U>>()
+    else {
+        return Ok(None);
+    };
+    if theirs != world_digest {
+        // Incompatible world build: replicas built from different world
+        // parameters can never converge, so refuse at the door.
+        eprintln!(
+            "seve-rt: rejecting client {client}: world digest {theirs:x} != \
+             ours {world_digest:x} (mismatched parameters?)"
+        );
+        return Ok(None);
+    }
+    if client as usize >= n {
+        eprintln!("seve-rt: rejecting client {client}: id out of range (session has {n} seats)");
+        return Ok(None);
+    }
+    match tokens {
+        Some(tokens) => {
+            if token != tokens[client as usize] {
+                eprintln!("seve-rt: rejecting client {client}: bad session token");
+                return Ok(None);
+            }
+        }
+        None => {
+            if writers.lock().expect("writer seats")[client as usize].is_some() {
+                eprintln!("seve-rt: rejecting client {client}: seat already taken");
+                return Ok(None);
+            }
+        }
+    }
+    stream.set_read_timeout(None)?;
+
+    let id = ClientId(client);
+    // Bump the seat generation BEFORE retiring the old socket, so the old
+    // reader — woken by the shutdown — observes a newer generation and
+    // stays quiet instead of reporting a spurious loss.
+    let gen = gens[id.index()].fetch_add(1, Ordering::SeqCst) + 1;
+    let old = writers.lock().expect("writer seats")[id.index()].replace(stream);
+    if let Some(old) = old {
+        let _ = old.shutdown(Shutdown::Both);
+    }
+    let tx = tx.clone();
+    let gens = Arc::clone(gens);
+    Ok(Some(std::thread::spawn(move || loop {
+        match reader.read_msg::<RtUp<U>>() {
+            Ok(RtUp::Msg(m)) => {
+                if tx.send(Inbound::Msg(id, m)).is_err() {
+                    break;
+                }
+            }
+            Ok(RtUp::Bye) => {
+                // Count the goodbye but keep reading: the client still
+                // relays completions for tail actions it receives while
+                // other clients finish (its phase 3). The thread ends
+                // when the client closes the socket after Stop.
+                let _ = tx.send(Inbound::Done(id));
+            }
+            Ok(RtUp::Hello { .. }) => {
+                // Duplicate hello: ignore.
+            }
+            Err(_) => {
+                // Only the connection currently holding the seat reports
+                // the loss; a reader whose socket was replaced by a
+                // resume stays quiet.
+                if gens[id.index()].load(Ordering::SeqCst) == gen {
+                    let _ = tx.send(Inbound::Gone(id));
+                }
+                break;
+            }
+        }
+    })))
+}
+
+/// Block until every seat has a writer installed (the initial full house).
+fn wait_for_full_house(writers: &SharedWriters) {
+    loop {
+        if writers
+            .lock()
+            .expect("writer seats")
+            .iter()
+            .all(Option::is_some)
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(2));
     }
 }
 
@@ -144,7 +380,8 @@ impl<U, D: Serialize + ShareKey + Sync> ServerTransport<U, D> for TcpServerTrans
 /// says goodbye. `tick` and `push` are the wall-clock cycle periods (push
 /// ignored when the engine does not push). `world_digest` is the digest of
 /// the initial world state; clients presenting a different digest are
-/// rejected (their replicas could never converge).
+/// rejected (their replicas could never converge). Runs a supervised
+/// session with [`SessionParams::default`]; see [`run_server_with`].
 pub fn run_server<W, S>(
     engine: S,
     listener: TcpListener,
@@ -156,101 +393,86 @@ pub fn run_server<W, S>(
 where
     W: GameWorld,
     S: ServerNode<W>,
-    S::Up: DeserializeOwned + 'static,
-    S::Down: Serialize + ShareKey + Sync,
+    S::Up: DeserializeOwned + Send + 'static,
+    S::Down: Serialize + ShareKey + Sync + Clone,
 {
-    let (tx, rx) = channel::unbounded::<Inbound<S::Up>>();
-    let mut writers: Vec<Option<TcpStream>> = (0..n).map(|_| None).collect();
-    let mut reader_handles = Vec::with_capacity(n);
+    run_server_with(
+        engine,
+        listener,
+        n,
+        tick,
+        push,
+        world_digest,
+        SessionParams::default(),
+    )
+}
 
-    let mut accepted = 0usize;
-    while accepted < n {
-        let (stream, peer) = listener.accept()?;
-        stream.set_nodelay(true)?;
-        let mut reader = FrameReader::new(stream.try_clone()?);
-        // The first frame must identify the client.
-        let hello: RtUp<S::Up> = reader.read_msg()?;
-        let RtUp::Hello {
-            client,
-            world_digest: theirs,
-        } = hello
-        else {
-            return Err(FrameError::Codec(crate::wire::WireError::Unsupported(
-                "expected Hello as the first frame",
-            )));
+/// [`run_server`] with explicit [`SessionParams`].
+///
+/// When `session.supervised`, the TCP transport carries sequence-numbered
+/// session envelopes and is wrapped in a [`SupervisedServerTransport`]:
+/// down-lane frames are resent past the client's last cumulative ack on
+/// RTO, crashed clients are reaped after the liveness deadline, and a
+/// reconnecting client may reclaim its seat mid-run by presenting its
+/// session token. With `session.supervised == false` the wire format is
+/// the bare protocol messages, byte-identical to the pre-session host.
+pub fn run_server_with<W, S>(
+    engine: S,
+    listener: TcpListener,
+    n: usize,
+    tick: Duration,
+    push: Duration,
+    world_digest: u64,
+    session: SessionParams,
+) -> Result<ServerReport, FrameError>
+where
+    W: GameWorld,
+    S: ServerNode<W>,
+    S::Up: DeserializeOwned + Send + 'static,
+    S::Down: Serialize + ShareKey + Sync + Clone,
+{
+    let tick_driver = NodeDriver::server(tick, push);
+    if session.supervised {
+        let (tx, rx) = channel::unbounded::<Inbound<SessionUp<S::Up>>>();
+        let tokens: Arc<Vec<u64>> = Arc::new(
+            (0..n as u16)
+                .map(|c| session_token(session.seed, ClientId(c)))
+                .collect(),
+        );
+        let acceptor = spawn_acceptor(listener, n, world_digest, Some(tokens), tx.clone())?;
+        wait_for_full_house(&acceptor.writers);
+        let inner = TcpServerTransport {
+            rx,
+            writers: Arc::clone(&acceptor.writers),
+            pool: BufferPool::new(),
+            drain_pool: seve_exec::Executor::new(drain_workers()),
+            writev_batches: 0,
+            _down: PhantomData,
         };
-        if theirs != world_digest {
-            // Incompatible world build: refuse this client, keep waiting.
-            eprintln!(
-                "seve-rt: rejecting client {client} from {peer}: world digest \
-                 {theirs:x} != ours {world_digest:x} (mismatched parameters?)"
-            );
-            drop(stream);
-            continue;
-        }
-        if client as usize >= n {
-            eprintln!(
-                "seve-rt: rejecting client {client} from {peer}: id out of \
-                 range (session has {n} seats)"
-            );
-            drop(stream);
-            continue;
-        }
-        if writers[client as usize].is_some() {
-            eprintln!(
-                "seve-rt: rejecting client {client} from {peer}: seat already \
-                 taken"
-            );
-            drop(stream);
-            continue;
-        }
-        accepted += 1;
-        let id = ClientId(client);
-        writers[id.index()] = Some(stream);
-        let tx = tx.clone();
-        reader_handles.push(std::thread::spawn(move || loop {
-            match reader.read_msg::<RtUp<S::Up>>() {
-                Ok(RtUp::Msg(m)) => {
-                    if tx.send(Inbound::Msg(id, m)).is_err() {
-                        break;
-                    }
-                }
-                Ok(RtUp::Bye) => {
-                    // Count the goodbye but keep reading: the client still
-                    // relays completions for tail actions it receives while
-                    // other clients finish (its phase 3). The thread ends
-                    // when the client closes the socket after Stop.
-                    let _ = tx.send(Inbound::Done);
-                }
-                Ok(RtUp::Hello { .. }) => {
-                    // Duplicate hello: ignore.
-                }
-                Err(_) => {
-                    let _ = tx.send(Inbound::Done);
-                    break;
-                }
-            }
-        }));
+        let mut transport = SupervisedServerTransport::new(inner, n, session);
+        let report = tick_driver.run_server(engine, &mut transport, n);
+        drop(transport);
+        drop(tx);
+        acceptor.shutdown();
+        report
+    } else {
+        let (tx, rx) = channel::unbounded::<Inbound<S::Up>>();
+        let acceptor = spawn_acceptor(listener, n, world_digest, None, tx.clone())?;
+        wait_for_full_house(&acceptor.writers);
+        let mut transport = TcpServerTransport {
+            rx,
+            writers: Arc::clone(&acceptor.writers),
+            pool: BufferPool::new(),
+            drain_pool: seve_exec::Executor::new(drain_workers()),
+            writev_batches: 0,
+            _down: PhantomData,
+        };
+        let report = tick_driver.run_server(engine, &mut transport, n);
+        drop(transport);
+        drop(tx);
+        acceptor.shutdown();
+        report
     }
-
-    let mut transport = TcpServerTransport {
-        rx,
-        writers,
-        pool: BufferPool::new(),
-        drain_pool: seve_exec::Executor::new(drain_workers()),
-        writev_batches: 0,
-        _down: PhantomData,
-    };
-    let report = NodeDriver::server(tick, push).run_server(engine, &mut transport, n)?;
-
-    // Closing our channel end and the writer sockets unblocks the readers.
-    drop(transport);
-    drop(tx);
-    for h in reader_handles {
-        let _ = h.join();
-    }
-
-    Ok(report)
 }
 
 /// Coalescing threshold: the most frames handed to one `write_vectored`
@@ -270,8 +492,24 @@ fn drain_workers() -> usize {
 
 /// One drain worker's unit of work on the persistent pool: pulls whole
 /// lanes from the shared queue and returns `(bytes written, writev
-/// batches)` or the first socket error it hit.
-type DrainTask<'a> = Box<dyn FnOnce() -> Result<(u64, u64), FrameError> + Send + 'a>;
+/// batches, dead lane indices)` or the first *non-disconnect* socket
+/// error it hit.
+type DrainTask<'a> = Box<dyn FnOnce() -> Result<(u64, u64, Vec<usize>), FrameError> + Send + 'a>;
+
+/// Is this write error the peer being gone (as opposed to a local fault)?
+/// A vanished peer is a liveness event for the supervision layer, not a
+/// fatal transport error: the lane is unseated and the tick goes on.
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::BrokenPipe
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::WriteZero
+    )
+}
 
 /// Write one engine step's outbound batch to the client sockets, returning
 /// `(bytes written, vectored-write batches issued)`.
@@ -379,22 +617,32 @@ fn encode_and_drain<M: Serialize + Sync>(
 
     // Phase 2: drain each busy lane. The writer slice is partitioned into
     // disjoint `&mut` sockets, so workers cannot interleave on a stream.
+    // A lane whose peer vanished mid-write is unseated (its writer taken
+    // and shut down), never fatal: the supervised layer still holds the
+    // frames in its resend window and will retransmit once the client
+    // resumes — or reap the lane at the liveness deadline.
     let busy = lanes.iter().filter(|l| !l.is_empty()).count();
+    let mut totals = (0u64, 0u64);
+    let mut dead: Vec<usize> = Vec::new();
     if busy <= 1 {
         // Nothing to overlap: drain inline on this thread.
-        let mut totals = (0u64, 0u64);
-        for (w, lane) in writers.iter_mut().zip(lanes.iter()) {
-            if let (Some(w), false) = (w.as_mut(), lane.is_empty()) {
-                totals = drain_lane(w, lane)?;
+        for (i, (w, lane)) in writers.iter_mut().zip(lanes.iter()).enumerate() {
+            if let (Some(sock), false) = (w.as_mut(), lane.is_empty()) {
+                let (b, k, down) = drain_lane(sock, lane)?;
+                totals = (totals.0 + b, totals.1 + k);
+                if down {
+                    dead.push(i);
+                }
             }
         }
-        Ok(totals)
     } else {
-        let lane_refs: Vec<(&mut TcpStream, &[Arc<Vec<u8>>])> = writers
+        type LaneRef<'a> = (usize, &'a mut TcpStream, &'a [Arc<Vec<u8>>]);
+        let lane_refs: Vec<LaneRef<'_>> = writers
             .iter_mut()
             .zip(lanes.iter())
-            .filter_map(|(w, l)| match w {
-                Some(w) if !l.is_empty() => Some((w, l.as_slice())),
+            .enumerate()
+            .filter_map(|(i, (w, l))| match w {
+                Some(w) if !l.is_empty() => Some((i, w, l.as_slice())),
                 _ => None,
             })
             .collect();
@@ -404,16 +652,19 @@ fn encode_and_drain<M: Serialize + Sync>(
             .map(|_| {
                 let queue = &queue;
                 let task: DrainTask<'_> = Box::new(move || {
-                    let mut totals = (0u64, 0u64);
+                    let mut totals = (0u64, 0u64, Vec::new());
                     loop {
                         // Pop into a local first: a `while let` scrutinee
                         // would keep the MutexGuard alive across the
                         // blocking drain below, serializing all workers.
                         let job = queue.lock().expect("lane queue").pop();
-                        let Some((w, lane)) = job else { break };
-                        let (b, k) = drain_lane(w, lane)?;
+                        let Some((i, w, lane)) = job else { break };
+                        let (b, k, down) = drain_lane(w, lane)?;
                         totals.0 += b;
                         totals.1 += k;
+                        if down {
+                            totals.2.push(i);
+                        }
                     }
                     Ok(totals)
                 });
@@ -421,20 +672,27 @@ fn encode_and_drain<M: Serialize + Sync>(
             })
             .collect();
         let results = exec.run(tasks).expect("fan-out worker panicked");
-        let mut totals = (0u64, 0u64);
         for r in results {
-            let (b, k) = r?;
+            let (b, k, mut down) = r?;
             totals.0 += b;
             totals.1 += k;
+            dead.append(&mut down);
         }
-        Ok(totals)
     }
+    for i in dead {
+        if let Some(s) = writers[i].take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+    Ok(totals)
 }
 
 /// Drain one client's ordered frame list through vectored writes, chunked
 /// at [`WRITEV_MAX_FRAMES`]; partial writes re-slice from the first
-/// unwritten byte. Returns `(bytes written, write batches issued)`.
-fn drain_lane(w: &mut TcpStream, frames: &[Arc<Vec<u8>>]) -> Result<(u64, u64), FrameError> {
+/// unwritten byte. Returns `(bytes written, write batches issued, peer
+/// gone)` — a disconnect ends the lane quietly (see [`is_disconnect`]);
+/// only local faults surface as errors.
+fn drain_lane(w: &mut TcpStream, frames: &[Arc<Vec<u8>>]) -> Result<(u64, u64, bool), FrameError> {
     let mut bytes = 0u64;
     let mut batches = 0u64;
     let mut chunk_start = 0usize;
@@ -451,13 +709,12 @@ fn drain_lane(w: &mut TcpStream, frames: &[Arc<Vec<u8>>]) -> Result<(u64, u64), 
             for f in &chunk[at.0 + 1..] {
                 slices.push(IoSlice::new(f));
             }
-            let n = w.write_vectored(&slices)?;
-            if n == 0 {
-                return Err(FrameError::Io(io::Error::new(
-                    io::ErrorKind::WriteZero,
-                    "vectored write made no progress",
-                )));
-            }
+            let n = match w.write_vectored(&slices) {
+                Ok(0) => return Ok((bytes, batches, true)),
+                Ok(n) => n,
+                Err(e) if is_disconnect(&e) => return Ok((bytes, batches, true)),
+                Err(e) => return Err(FrameError::Io(e)),
+            };
             batches += 1;
             written += n;
             // Advance (frame, offset) past the bytes just written.
@@ -476,8 +733,11 @@ fn drain_lane(w: &mut TcpStream, frames: &[Arc<Vec<u8>>]) -> Result<(u64, u64), 
         bytes += total as u64;
         chunk_start += chunk.len();
     }
-    w.flush()?;
-    Ok((bytes, batches))
+    match w.flush() {
+        Ok(()) => Ok((bytes, batches, false)),
+        Err(e) if is_disconnect(&e) => Ok((bytes, batches, true)),
+        Err(e) => Err(FrameError::Io(e)),
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,8 @@ pub struct BufferPool {
     free: Vec<Vec<u8>>,
     hits: u64,
     misses: u64,
+    taken: u64,
+    returned: u64,
 }
 
 /// Most buffers [`BufferPool::put`] keeps on the free list.
@@ -128,6 +130,7 @@ impl BufferPool {
 
     /// An empty (cleared) buffer, recycled when one is available.
     pub fn take(&mut self) -> Vec<u8> {
+        self.taken += 1;
         match self.free.pop() {
             Some(buf) => {
                 self.hits += 1;
@@ -141,8 +144,10 @@ impl BufferPool {
     }
 
     /// Return a buffer to the pool, keeping its capacity for reuse.
-    /// Oversized buffers and overflow past the free-list cap are dropped.
+    /// Oversized buffers and overflow past the free-list cap are dropped
+    /// (but still count as returned — the transport no longer holds them).
     pub fn put(&mut self, mut buf: Vec<u8>) {
+        self.returned += 1;
         if self.free.len() >= MAX_POOLED || buf.capacity() > MAX_RETAINED {
             return;
         }
@@ -158,6 +163,13 @@ impl BufferPool {
     /// Takes that had to allocate a fresh buffer.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Buffers taken and not yet returned. Zero at rest — anything else
+    /// means an egress lane is pinning pooled frames (the leak the session
+    /// reaper exists to prevent).
+    pub fn outstanding(&self) -> u64 {
+        self.taken - self.returned
     }
 }
 

@@ -63,7 +63,10 @@ pub mod prelude {
     pub use seve_core::engine::{ClientNode, ProtocolSuite, ServerNode};
     pub use seve_core::server::SeveSuite;
     pub use seve_core::SeveClient;
-    pub use seve_driver::{run_inproc_session, FaultPlan, FaultPolicy, NodeDriver, SessionConfig};
+    pub use seve_driver::{
+        run_inproc_session, FaultPlan, FaultPolicy, LinkPartition, NodeDriver, SessionConfig,
+        SessionParams, SessionStats, ShedPolicy,
+    };
     pub use seve_net::stats::Summary;
     pub use seve_net::time::{SimDuration, SimTime};
     pub use seve_sim::{RunResult, SimConfig, Simulation};

@@ -1,39 +1,53 @@
-//! The fault-injection matrix: drop / duplicate / reorder / delay / mid-run
-//! crash, crossed over the two fault-capable backends (the deterministic
-//! simulator and the threaded in-process runtime).
+//! The fault-injection matrix: drop / duplicate / reorder / delay /
+//! mid-run crash / link partition, crossed over the three fault-capable
+//! backends (the deterministic simulator, the threaded in-process runtime,
+//! and the real-TCP runtime).
 //!
-//! What each cell must show follows from the protocol's actual tolerance
-//! envelope, not from wishful symmetry:
+//! What each cell must show follows from the protocol's tolerance
+//! envelope, which the session-supervision layer widened:
 //!
 //! * **Up lane — disorder and duplication absorbed.** Arrival order *is*
 //!   serialization order (Algorithm 2 timestamps on receipt), the server
 //!   dedups submissions by action id, and completions are idempotent. Any
 //!   lossless up-lane fault leaves Theorem 1 and complete-world
 //!   convergence intact.
-//! * **Down lane — duplication absorbed, FIFO load-bearing.** Clients
-//!   dedup pushes by queue position, so duplicates are harmless. But the
-//!   closure property only promises that an action's support is *sent*
-//!   before its dependents; a transport that reorders or drops down-lane
-//!   traffic breaks the premise replica evaluation rests on. That is
-//!   documented degradation — and the consistency oracle must *detect* it
-//!   (violations > 0), never paper over it.
-//! * **Drops.** An up-lane drop silently unsubmits an action (it never
-//!   serializes; the session just resolves fewer actions, consistently). A
-//!   down-lane drop punches a hole in a replica's prefix, which the oracle
-//!   reports.
+//! * **Up drops.** An up-lane drop silently unsubmits an action (it never
+//!   serializes; the session just resolves fewer actions, consistently).
+//! * **Down lane — supervised sessions *recover*.** Down-lane frames are
+//!   sequence-numbered, resequenced at the client, and retransmitted past
+//!   the last cumulative ack on RTO. Drop, duplication, and reordering are
+//!   repaired before evaluation, so the oracle stays quiet and replicas
+//!   converge — the faults leave traces only in [`SessionStats`].
+//! * **Down lane — unsupervised detection, pinned.** With
+//!   `SessionParams::unsupervised()` the PR-5 envelope still holds: the
+//!   closure premise breaks and the consistency oracle must *detect* it
+//!   (violations > 0), never paper over it. Those cells stay here so the
+//!   supervision layer can never silently weaken the oracle.
 //! * **Crash.** Section III-C: a mid-run client disappearance must leave
-//!   the survivors' session fully consistent.
+//!   the survivors' session fully consistent; the liveness supervisor
+//!   reaps the dead lane (synthetic goodbye) instead of stranding it.
+//! * **Partition.** A supervised client buffers its up-traffic through the
+//!   dark window, reconnects under seeded backoff, presents its session
+//!   token, and resumes from its last-acked frame — no delivered frame is
+//!   replayed, no undelivered frame is lost.
+//!
+//! [`SessionStats`]: seve::driver::SessionStats
 
 use seve::core::config::{ProtocolConfig, ServerMode};
+use seve::core::pipeline::PipelineServer;
 use seve::core::server::SeveSuite;
 use seve::driver::{
-    run_inproc_session, FaultPlan, FaultPolicy, SessionConfig, SimConfig, Simulation,
+    run_inproc_session, FaultPlan, FaultPolicy, LinkPartition, SessionConfig, SessionParams,
+    SimConfig, Simulation,
 };
+use seve::rt::{run_client_with, run_server_with, ClientReport, ServerReport};
 use seve::world::ids::ClientId;
 use seve::world::worlds::dining::{DiningConfig, DiningWorkload, DiningWorld};
 use seve::world::worlds::manhattan::{
     ManhattanConfig, ManhattanWorkload, ManhattanWorld, SpawnPattern,
 };
+use seve::world::GameWorld;
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -51,17 +65,70 @@ fn manhattan(clients: usize) -> Arc<ManhattanWorld> {
     }))
 }
 
-fn sim_run(mode: ServerMode, clients: usize, moves: u32, plan: FaultPlan) -> seve::sim::RunResult {
+fn dining(philosophers: usize) -> Arc<DiningWorld> {
+    Arc::new(DiningWorld::new(DiningConfig {
+        philosophers,
+        ..DiningConfig::default()
+    }))
+}
+
+fn sim_run(
+    mode: ServerMode,
+    clients: usize,
+    moves: u32,
+    plan: FaultPlan,
+    session: SessionParams,
+) -> seve::sim::RunResult {
     let world = manhattan(clients);
     let suite = SeveSuite::new(ProtocolConfig::with_mode(mode));
     let mut wl = ManhattanWorkload::new(&world);
     let sim = SimConfig {
         moves_per_client: moves,
+        session,
         ..SimConfig::default()
     };
     Simulation::new(world, &suite, sim)
         .with_faults(plan)
         .run(&mut wl)
+}
+
+fn sim_dining_run(
+    clients: usize,
+    moves: u32,
+    plan: FaultPlan,
+    session: SessionParams,
+) -> seve::sim::RunResult {
+    let world = dining(clients);
+    let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic));
+    let mut wl = DiningWorkload::new(&world);
+    let sim = SimConfig {
+        moves_per_client: moves,
+        session,
+        ..SimConfig::default()
+    };
+    Simulation::new(world, &suite, sim)
+        .with_faults(plan)
+        .run(&mut wl)
+}
+
+fn down_drop_plan(drop: f64) -> FaultPlan {
+    FaultPlan {
+        down: FaultPolicy {
+            drop,
+            ..FaultPolicy::default()
+        },
+        ..FaultPlan::default()
+    }
+}
+
+fn down_reorder_plan(reorder: f64) -> FaultPlan {
+    FaultPlan {
+        down: FaultPolicy {
+            reorder,
+            ..FaultPolicy::default()
+        },
+        ..FaultPlan::default()
+    }
 }
 
 #[test]
@@ -79,7 +146,7 @@ fn sim_up_disorder_and_duplication_are_absorbed() {
         },
         ..FaultPlan::default()
     };
-    let r = sim_run(ServerMode::Basic, 6, 10, plan);
+    let r = sim_run(ServerMode::Basic, 6, 10, plan, SessionParams::default());
     assert_eq!(r.violations, 0, "Theorem 1 under lossless up-lane faults");
     assert_eq!(r.replay_divergences, 0);
     assert!(
@@ -97,8 +164,20 @@ fn sim_up_drop_unsubmits_actions_consistently() {
         },
         ..FaultPlan::default()
     };
-    let r = sim_run(ServerMode::Incomplete, 6, 10, lossy);
-    let clean = sim_run(ServerMode::Incomplete, 6, 10, FaultPlan::none());
+    let r = sim_run(
+        ServerMode::Incomplete,
+        6,
+        10,
+        lossy,
+        SessionParams::default(),
+    );
+    let clean = sim_run(
+        ServerMode::Incomplete,
+        6,
+        10,
+        FaultPlan::none(),
+        SessionParams::default(),
+    );
     // Dropped submissions never serialize: fewer actions resolve…
     assert!(
         r.response_ms.count() < clean.response_ms.count(),
@@ -112,17 +191,41 @@ fn sim_up_drop_unsubmits_actions_consistently() {
 }
 
 #[test]
-fn sim_down_drop_is_detected_by_the_oracle() {
-    let plan = FaultPlan {
-        down: FaultPolicy {
-            drop: 0.3,
-            ..FaultPolicy::default()
-        },
-        ..FaultPlan::default()
-    };
-    let r = sim_run(ServerMode::Basic, 6, 10, plan);
-    // Holes in the serialized prefix shift every later evaluation; the
-    // oracle must report it, not mask it.
+fn sim_down_drop_is_recovered_by_supervision() {
+    let r = sim_run(
+        ServerMode::Basic,
+        6,
+        10,
+        down_drop_plan(0.3),
+        SessionParams::default(),
+    );
+    // The go-back-N window refills every hole before evaluation: no
+    // violation, no divergence, full convergence — and a non-zero
+    // retransmit count proving the faults actually happened.
+    assert_eq!(r.violations, 0, "supervised down-lane drops are repaired");
+    assert_eq!(r.replay_divergences, 0);
+    assert!(
+        r.stable_digests.windows(2).all(|w| w[0] == w[1]),
+        "replicas must converge under recovered loss"
+    );
+    assert!(
+        r.session.retransmits > 0,
+        "recovery must have resent something"
+    );
+}
+
+#[test]
+fn sim_down_drop_detection_pinned_without_supervision() {
+    // The PR-5 envelope, pinned: with supervision off the oracle must
+    // still see the broken closure premise. This cell guards against the
+    // session layer ever weakening the oracle itself.
+    let r = sim_run(
+        ServerMode::Basic,
+        6,
+        10,
+        down_drop_plan(0.3),
+        SessionParams::unsupervised(),
+    );
     assert!(
         r.violations > 0,
         "down-lane drops break the closure premise; the oracle must see it"
@@ -130,28 +233,29 @@ fn sim_down_drop_is_detected_by_the_oracle() {
 }
 
 #[test]
-fn sim_down_reordering_is_detected_by_the_oracle() {
-    // Manhattan's spread-out spawns are too sparse for this cell: a
-    // reordered prefix re-evaluates to the same outcomes, so the oracle
-    // (correctly) stays quiet. The dining table makes every action contend
-    // on shared forks, so inverted delivery must shift evaluations.
-    let world = dining(8);
-    let plan = FaultPlan {
-        down: FaultPolicy {
-            reorder: 0.3,
-            ..FaultPolicy::default()
-        },
-        ..FaultPlan::default()
-    };
-    let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic));
-    let mut wl = DiningWorkload::new(&world);
-    let sim = SimConfig {
-        moves_per_client: 12,
-        ..SimConfig::default()
-    };
-    let r = Simulation::new(world, &suite, sim)
-        .with_faults(plan)
-        .run(&mut wl);
+fn sim_down_reordering_is_recovered_by_supervision() {
+    // The dining table makes every action contend on shared forks, so an
+    // inverted prefix that slipped through would shift evaluations. The
+    // resequencer must hold early frames until the gap fills instead.
+    let r = sim_dining_run(8, 12, down_reorder_plan(0.3), SessionParams::default());
+    assert_eq!(
+        r.violations, 0,
+        "supervised reordering is resequenced before evaluation"
+    );
+    assert_eq!(r.replay_divergences, 0);
+    assert!(
+        r.stable_digests.windows(2).all(|w| w[0] == w[1]),
+        "replicas must converge under recovered reordering"
+    );
+    assert!(
+        r.session.holds > 0,
+        "the resequencer must have parked out-of-order frames"
+    );
+}
+
+#[test]
+fn sim_down_reordering_detection_pinned_without_supervision() {
+    let r = sim_dining_run(8, 12, down_reorder_plan(0.3), SessionParams::unsupervised());
     assert!(
         r.replay_rebuilds > 0,
         "inverted down-lane delivery must trigger out-of-order reconciliation"
@@ -168,7 +272,7 @@ fn sim_midrun_crash_leaves_survivors_consistent() {
         crashes: vec![(ClientId(1), 4)],
         ..FaultPlan::default()
     };
-    let r = sim_run(ServerMode::Basic, 6, 10, plan);
+    let r = sim_run(ServerMode::Basic, 6, 10, plan, SessionParams::default());
     assert_eq!(r.violations, 0, "Theorem 1 among performed evaluations");
     // Survivors (all but index 1) agree exactly: the complete world is
     // unaffected by one replica going dark (Section III-C).
@@ -185,14 +289,46 @@ fn sim_midrun_crash_leaves_survivors_consistent() {
     );
 }
 
-// ------------------------------------------------------- in-process runtime
-
-fn dining(philosophers: usize) -> Arc<DiningWorld> {
-    Arc::new(DiningWorld::new(DiningConfig {
-        philosophers,
-        ..DiningConfig::default()
-    }))
+#[test]
+fn sim_chaos_soak_converges_across_seeds() {
+    // Seeded chaos: both lanes dropping, duplicating, reordering, and
+    // delaying at once, across several fault seeds. Every run must end
+    // with a quiet oracle and converged replicas, and the supervision
+    // layer must actually have coped (the faults were real).
+    for seed in [1, 7, 42] {
+        let plan = FaultPlan {
+            up: FaultPolicy {
+                seed,
+                duplicate: 0.1,
+                reorder: 0.1,
+                delay: 0.1,
+                ..FaultPolicy::default()
+            },
+            down: FaultPolicy {
+                seed: seed ^ 0xD0,
+                drop: 0.15,
+                duplicate: 0.1,
+                reorder: 0.15,
+                delay: 0.1,
+                ..FaultPolicy::default()
+            },
+            ..FaultPlan::default()
+        };
+        let r = sim_dining_run(6, 10, plan, SessionParams::default());
+        assert_eq!(r.violations, 0, "seed {seed}: chaos must be recovered");
+        assert_eq!(r.replay_divergences, 0, "seed {seed}");
+        assert!(
+            r.stable_digests.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: replicas must converge under chaos"
+        );
+        assert!(
+            r.session.retransmits > 0 || r.session.dups_dropped > 0 || r.session.holds > 0,
+            "seed {seed}: the session layer must have seen the chaos"
+        );
+    }
 }
+
+// ------------------------------------------------------- in-process runtime
 
 fn inproc_cfg(moves: u32, faults: FaultPlan) -> SessionConfig {
     let mut cfg = SessionConfig::fast(moves, Duration::from_millis(20), Duration::from_millis(5));
@@ -237,7 +373,7 @@ fn inproc_absorbed_faults_preserve_consistency() {
 }
 
 #[test]
-fn inproc_midrun_crash_is_tolerated() {
+fn inproc_midrun_crash_is_reaped_and_tolerated() {
     const N: usize = 4;
     const MOVES: u32 = 10;
     let world = dining(N);
@@ -258,6 +394,12 @@ fn inproc_midrun_crash_is_tolerated() {
     );
     let (_, violations) = report.cross_check();
     assert_eq!(violations, 0, "survivors' session stays consistent");
+    // The liveness supervisor must notice the silent disappearance and
+    // reap the lane (synthetic goodbye) instead of stranding the session.
+    assert!(
+        report.server.metrics.stage.session_reaps >= 1,
+        "the crashed client's lane must be reaped"
+    );
     // Complete-world survivors see the whole serialization before Stop
     // (channels are FIFO), so their replicas agree exactly.
     let survivors: Vec<u64> = report
@@ -274,22 +416,45 @@ fn inproc_midrun_crash_is_tolerated() {
 }
 
 #[test]
-fn inproc_down_loss_degrades_detectably() {
+fn inproc_down_loss_is_recovered_by_supervision() {
     const N: usize = 4;
     const MOVES: u32 = 10;
     let world = dining(N);
     let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic));
-    let plan = FaultPlan {
-        down: FaultPolicy {
-            drop: 0.3,
-            ..FaultPolicy::default()
-        },
-        ..FaultPlan::default()
-    };
-    let mut report =
-        run_inproc_session(Arc::clone(&world), &suite, &inproc_cfg(MOVES, plan), |_| {
-            Box::new(DiningWorkload::new(&world))
-        });
+    let mut report = run_inproc_session(
+        Arc::clone(&world),
+        &suite,
+        &inproc_cfg(MOVES, down_drop_plan(0.3)),
+        |_| Box::new(DiningWorkload::new(&world)),
+    );
+    assert_eq!(report.submitted(), (N as u64) * (MOVES as u64));
+    let (records, violations) = report.cross_check();
+    assert!(records > 0);
+    // 30% down-lane loss, zero visible damage: every hole is refilled by
+    // retransmission before the replica evaluates past it.
+    assert_eq!(violations, 0, "supervised threaded loss is repaired");
+    let digests: Vec<u64> = report.clients.iter().map(|c| c.stable_digest).collect();
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "replicas must converge under recovered loss: {digests:x?}"
+    );
+    assert!(
+        report.server.metrics.stage.session_retransmits > 0,
+        "recovery must have resent something"
+    );
+}
+
+#[test]
+fn inproc_down_loss_detection_pinned_without_supervision() {
+    const N: usize = 4;
+    const MOVES: u32 = 10;
+    let world = dining(N);
+    let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic));
+    let mut cfg = inproc_cfg(MOVES, down_drop_plan(0.3));
+    cfg.session = SessionParams::unsupervised();
+    let mut report = run_inproc_session(Arc::clone(&world), &suite, &cfg, |_| {
+        Box::new(DiningWorkload::new(&world))
+    });
     // Every submission still reaches the server (the up lane is clean)…
     assert_eq!(report.submitted(), (N as u64) * (MOVES as u64));
     let responses = report.responses();
@@ -303,4 +468,304 @@ fn inproc_down_loss_degrades_detectably() {
         violations > 0 || responses < (N * MOVES as usize),
         "30% down-lane loss cannot be invisible: {responses} responses, {violations} violations"
     );
+}
+
+#[test]
+fn inproc_partition_heals_and_resumes() {
+    const N: usize = 4;
+    const MOVES: u32 = 10;
+    let world = dining(N);
+    let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic));
+    let plan = FaultPlan {
+        partitions: vec![LinkPartition {
+            client: ClientId(1),
+            after_submissions: 3,
+            duration: Duration::from_millis(250),
+        }],
+        ..FaultPlan::default()
+    };
+    let mut report =
+        run_inproc_session(Arc::clone(&world), &suite, &inproc_cfg(MOVES, plan), |_| {
+            Box::new(DiningWorkload::new(&world))
+        });
+    // The partitioned client buffered its ups through the dark window and
+    // flushed them on resume: nothing was lost.
+    assert_eq!(report.submitted(), (N as u64) * (MOVES as u64));
+    assert!(!report.clients[1].crashed);
+    assert!(
+        report.clients[1].session.reconnects >= 1,
+        "the partitioned client must have healed"
+    );
+    let (_, violations) = report.cross_check();
+    assert_eq!(violations, 0, "resume must not corrupt the session");
+    let digests: Vec<u64> = report.clients.iter().map(|c| c.stable_digest).collect();
+    assert!(
+        digests.windows(2).all(|w| w[0] == w[1]),
+        "all replicas (including the healed one) must converge: {digests:x?}"
+    );
+}
+
+// ------------------------------------------------------------ real TCP
+
+/// Run one real-TCP session: a server thread plus one thread per client,
+/// each client faulted per `plan` and supervised per `session`.
+fn tcp_session(
+    n: usize,
+    moves: u32,
+    plan: FaultPlan,
+    session: SessionParams,
+) -> (ServerReport, Vec<ClientReport>) {
+    let w = manhattan(n);
+    let mut cfg = ProtocolConfig::with_mode(ServerMode::Basic);
+    cfg.rtt = seve::net::time::SimDuration::from_ms(20);
+    cfg.tick = seve::net::time::SimDuration::from_ms(5);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap();
+    let digest = w.initial_state().digest();
+
+    let server = {
+        let w = Arc::clone(&w);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || {
+            run_server_with(
+                PipelineServer::new(w, cfg),
+                listener,
+                n,
+                Duration::from_millis(5),
+                Duration::from_millis(5),
+                digest,
+                session,
+            )
+            .expect("server runs")
+        })
+    };
+
+    let clients: Vec<_> = (0..n)
+        .map(|i| {
+            let w = Arc::clone(&w);
+            let cfg = cfg.clone();
+            let plan = plan.clone();
+            std::thread::spawn(move || {
+                let mut wl = ManhattanWorkload::new(&w);
+                run_client_with(
+                    Arc::clone(&w),
+                    &cfg,
+                    addr,
+                    ClientId(i as u16),
+                    &mut wl,
+                    moves,
+                    Duration::from_millis(25),
+                    &plan,
+                    session,
+                )
+                .expect("client runs")
+            })
+        })
+        .collect();
+
+    let reports = clients
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    (server.join().expect("server thread"), reports)
+}
+
+#[test]
+fn tcp_down_faults_are_recovered_digest_identical() {
+    // One client makes the serialization order deterministic (its own
+    // submission order), so the final stable digest must be bit-identical
+    // between a faulted-but-recovered run and a clean one.
+    let plan = FaultPlan {
+        down: FaultPolicy {
+            drop: 0.2,
+            reorder: 0.2,
+            duplicate: 0.1,
+            ..FaultPolicy::default()
+        },
+        ..FaultPlan::default()
+    };
+    let (srv, faulted) = tcp_session(1, 15, plan, SessionParams::fast());
+    let (_, clean) = tcp_session(1, 15, FaultPlan::none(), SessionParams::fast());
+    assert_eq!(faulted[0].metrics.replay_divergences, 0);
+    assert_eq!(
+        faulted[0].stable_digest, clean[0].stable_digest,
+        "recovered run must end bit-identical to the clean run"
+    );
+    let coping = srv.metrics.stage.session_retransmits
+        + faulted[0].session.dups_dropped
+        + faulted[0].session.holds;
+    assert!(coping > 0, "the faults must actually have been exercised");
+    assert_eq!(
+        srv.metrics.stage.pool_outstanding, 0,
+        "every pooled egress buffer must be back after shutdown"
+    );
+}
+
+#[test]
+fn tcp_partition_reconnect_resumes_from_last_ack() {
+    const N: usize = 3;
+    const MOVES: u32 = 10;
+    let plan = FaultPlan {
+        partitions: vec![LinkPartition {
+            client: ClientId(1),
+            after_submissions: 3,
+            duration: Duration::from_millis(250),
+        }],
+        ..FaultPlan::default()
+    };
+    let (srv, reports) = tcp_session(N, MOVES, plan, SessionParams::fast());
+    assert!(
+        reports[1].session.reconnects >= 1,
+        "the partitioned client must dial back in"
+    );
+    assert!(
+        srv.metrics.stage.session_reconnects >= 1,
+        "the server must accept the resume"
+    );
+    for r in &reports {
+        assert!(!r.crashed);
+        assert_eq!(
+            r.metrics.replay_divergences, 0,
+            "resume must not replay delivered frames"
+        );
+    }
+    assert_eq!(
+        srv.metrics.stage.pool_outstanding, 0,
+        "no pooled buffer may leak across a reconnect"
+    );
+}
+
+#[test]
+fn tcp_crashed_client_is_reaped_not_stranded() {
+    const N: usize = 3;
+    const MOVES: u32 = 10;
+    let plan = FaultPlan {
+        crashes: vec![(ClientId(2), 3)],
+        ..FaultPlan::default()
+    };
+    // The run completing at all IS the stranded-session fix: the server
+    // can only finish once the dead lane is reaped into a synthetic
+    // goodbye and its writer + pooled frames are released.
+    let (srv, reports) = tcp_session(N, MOVES, plan, SessionParams::fast());
+    assert!(reports[2].crashed, "client 2 must abort mid-run");
+    assert!(
+        srv.metrics.stage.session_reaps >= 1,
+        "the dead lane must be reaped by the liveness supervisor"
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i != 2 {
+            assert!(!r.crashed);
+            assert_eq!(r.metrics.replay_divergences, 0);
+        }
+    }
+    assert_eq!(
+        srv.metrics.stage.pool_outstanding, 0,
+        "reaping must recycle the dead client's pooled buffers"
+    );
+}
+
+#[test]
+fn tcp_chaos_soak_stays_consistent_and_leaks_nothing() {
+    use seve::core::consistency::ConsistencyOracle;
+    for seed in [3, 9] {
+        let plan = FaultPlan {
+            up: FaultPolicy {
+                seed,
+                drop: 0.05,
+                duplicate: 0.1,
+                reorder: 0.1,
+                ..FaultPolicy::default()
+            },
+            down: FaultPolicy {
+                seed: seed ^ 0xD0,
+                drop: 0.1,
+                duplicate: 0.1,
+                reorder: 0.1,
+                ..FaultPolicy::default()
+            },
+            ..FaultPlan::default()
+        };
+        let (srv, mut reports) = tcp_session(3, 8, plan, SessionParams::fast());
+        let mut oracle = ConsistencyOracle::new();
+        for r in &mut reports {
+            assert_eq!(r.metrics.replay_divergences, 0, "seed {seed}");
+            for rec in r.metrics.take_eval_records() {
+                oracle.observe(&rec);
+            }
+        }
+        assert!(
+            oracle.is_consistent(),
+            "seed {seed}: Theorem 1 under chaos: {:?}",
+            oracle.violations().first()
+        );
+        let coping: u64 = srv.metrics.stage.session_retransmits
+            + reports
+                .iter()
+                .map(|r| r.session.retransmits + r.session.dups_dropped + r.session.holds)
+                .sum::<u64>();
+        assert!(
+            coping > 0,
+            "seed {seed}: the session layer must have seen the chaos"
+        );
+        assert_eq!(
+            srv.metrics.stage.pool_outstanding, 0,
+            "seed {seed}: chaos must not leak pooled buffers"
+        );
+    }
+}
+
+#[test]
+fn clean_runs_have_zero_coping_counters() {
+    // The flip side of the chaos cells: supervision must be *invisible*
+    // when nothing goes wrong. Any non-zero coping counter on a clean run
+    // means the session layer is doing work — and spending bytes — it has
+    // no business doing, and would break golden-digest identity.
+    let r = sim_run(
+        ServerMode::Basic,
+        4,
+        8,
+        FaultPlan::none(),
+        SessionParams::default(),
+    );
+    assert_eq!(r.session.coping(), 0, "sim: clean runs cope with nothing");
+    assert_eq!(r.session.dups_dropped, 0);
+    assert_eq!(r.session.holds, 0);
+
+    let world = dining(3);
+    let suite = SeveSuite::new(ProtocolConfig::with_mode(ServerMode::Basic));
+    let report = run_inproc_session(
+        Arc::clone(&world),
+        &suite,
+        &inproc_cfg(6, FaultPlan::none()),
+        |_| Box::new(DiningWorkload::new(&world)),
+    );
+    let stage = &report.server.metrics.stage;
+    assert_eq!(
+        stage.session_retransmits
+            + stage.session_reconnects
+            + stage.session_reaps
+            + stage.session_sheds,
+        0,
+        "inproc: clean runs cope with nothing"
+    );
+    for c in &report.clients {
+        assert_eq!(c.session.coping(), 0);
+        assert_eq!(c.session.dups_dropped + c.session.holds, 0);
+    }
+
+    let (srv, reports) = tcp_session(2, 6, FaultPlan::none(), SessionParams::default());
+    let stage = &srv.metrics.stage;
+    assert_eq!(
+        stage.session_retransmits
+            + stage.session_reconnects
+            + stage.session_reaps
+            + stage.session_sheds,
+        0,
+        "tcp: clean runs cope with nothing"
+    );
+    for r in &reports {
+        assert_eq!(r.session.coping(), 0);
+        assert_eq!(r.session.dups_dropped + r.session.holds, 0);
+    }
+    assert_eq!(stage.pool_outstanding, 0);
 }

@@ -9,7 +9,9 @@
 
 /// MPSC channels (std-backed).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
 
     /// An unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
@@ -72,10 +74,7 @@ mod tests {
     fn channel_roundtrip() {
         let (tx, rx) = super::channel::unbounded();
         tx.send(5u32).unwrap();
-        assert_eq!(
-            rx.recv_timeout(std::time::Duration::from_millis(10)),
-            Ok(5)
-        );
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(10)), Ok(5));
         drop(tx);
         assert_eq!(
             rx.recv_timeout(std::time::Duration::from_millis(10)),
@@ -87,10 +86,7 @@ mod tests {
     fn scoped_threads_join_and_collect() {
         let data = vec![1u64, 2, 3, 4];
         let total: u64 = super::thread::scope(|s| {
-            let handles: Vec<_> = data
-                .iter()
-                .map(|&v| s.spawn(move |_| v * 2))
-                .collect();
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 2)).collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         })
         .unwrap();

@@ -304,8 +304,10 @@ pub trait MapAccess<'de> {
         seed: K,
     ) -> Result<Option<K::Value>, Self::Error>;
     /// Deserialize the next value through a seed.
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
-        -> Result<V::Value, Self::Error>;
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
     /// Deserialize the next key.
     fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>
     where
@@ -350,15 +352,20 @@ pub trait VariantAccess<'de>: Sized {
     /// A unit variant: no payload.
     fn unit_variant(self) -> Result<(), Self::Error>;
     /// A newtype variant, through a seed.
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T)
-        -> Result<T::Value, Self::Error>;
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
     /// A newtype variant.
     fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
         self.newtype_variant_seed(PhantomData)
     }
     /// A tuple variant with `len` fields.
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
-        -> Result<V::Value, Self::Error>;
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
     /// A struct variant with the given fields.
     fn struct_variant<V: Visitor<'de>>(
         self,

@@ -580,7 +580,8 @@ fn gen_deserialize(item: &Item) -> String {
                     }
                 }
             }
-            let variant_names = quoted_list(&variants.iter().map(|v| v.name.clone()).collect::<Vec<_>>());
+            let variant_names =
+                quoted_list(&variants.iter().map(|v| v.name.clone()).collect::<Vec<_>>());
             let visitor = format!(
                 "struct __Visitor{visitor_generics} {{ __p: ::core::marker::PhantomData<{phantom_ty}> }}\n\
                  impl{de_impl_generics} ::serde::de::Visitor<'de> for __Visitor{visitor_generics} {{\n\
